@@ -1,0 +1,45 @@
+"""Ablation: HiRA vs the strongest scheduling-only baseline (§13).
+
+The related work defers REF commands into idle time (elastic refresh
+[161]); unlike HiRA it cannot *hide* refresh latency behind accesses, only
+move it.  This bench quantifies the gap across capacities.
+"""
+
+from repro.analysis.tables import format_table
+from repro.sim.config import SystemConfig
+
+from benchmarks.conftest import average_ws, emit, scale
+
+CAPACITIES = scale((8.0, 128.0), (2.0, 8.0, 32.0, 128.0))
+MODES = (
+    ("Baseline", "baseline", {}),
+    ("Elastic", "elastic", {}),
+    ("HiRA-4", "hira", {"tref_slack_acts": 4}),
+)
+
+
+def build_comparison():
+    rows = []
+    values = {}
+    for capacity in CAPACITIES:
+        ideal = average_ws(SystemConfig(capacity_gbit=capacity, refresh_mode="none"))
+        for label, mode, extra in MODES:
+            ws = average_ws(
+                SystemConfig(capacity_gbit=capacity, refresh_mode=mode, **extra)
+            )
+            values[(capacity, label)] = ws / ideal
+            rows.append([f"{capacity:.0f}Gb", label, f"{ws / ideal:.3f}"])
+    table = format_table(
+        ["Capacity", "Scheme", "WS vs No-Refresh"],
+        rows,
+        title="Ablation: refresh schemes vs the ideal No-Refresh system",
+    )
+    return table, values
+
+
+def test_ablation_baselines(benchmark):
+    table, values = benchmark.pedantic(build_comparison, rounds=1, iterations=1)
+    emit("ablation_baselines", table)
+    for capacity in CAPACITIES:
+        # Elastic helps over plain REF (or at least doesn't hurt).
+        assert values[(capacity, "Elastic")] >= values[(capacity, "Baseline")] - 0.02

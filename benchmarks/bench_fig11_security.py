@@ -1,0 +1,69 @@
+"""Figure 11: PARA's probability threshold and success probability.
+
+(a) pth vs NRH for PARA-Legacy and tRefSlack ∈ {0, 2, 4, 8}·tRC;
+(b) the overall RowHammer success probability obtained when PARA-Legacy's
+pth values are used (rises above 1e-15 as NRH falls) vs the revisited
+configuration (stays at the 1e-15 target).
+"""
+
+from repro.analysis.tables import format_table
+from repro.rowhammer.security import (
+    DEFAULT_TARGET,
+    k_factor,
+    legacy_pth,
+    n_ref_slack_for,
+    rowhammer_success_probability,
+    solve_pth,
+)
+
+from benchmarks.conftest import emit
+
+NRH_SWEEP = (1024, 512, 256, 128, 64)
+SLACKS = (0, 2, 4, 8)
+TRC_NS = 46.25
+
+
+def build_fig11() -> tuple[str, str]:
+    rows_a = []
+    rows_b = []
+    for nrh in NRH_SWEEP:
+        pth_legacy = legacy_pth(nrh)
+        pths = [solve_pth(nrh, n_ref_slack_for(s * TRC_NS)) for s in SLACKS]
+        rows_a.append(
+            [nrh, f"{pth_legacy:.4f}"] + [f"{p:.4f}" for p in pths]
+        )
+        # (b): pRH when PARA-Legacy's pth is used, and with revisited pths.
+        prh_legacy = rowhammer_success_probability(pth_legacy, nrh)
+        prh_revisited = [
+            rowhammer_success_probability(p, nrh, n_ref_slack_for(s * TRC_NS))
+            for p, s in zip(pths, SLACKS)
+        ]
+        rows_b.append(
+            [nrh, f"{prh_legacy / 1e-15:.4f}"]
+            + [f"{p / 1e-15:.4f}" for p in prh_revisited]
+        )
+    table_a = format_table(
+        ["NRH", "PARA-Legacy pth"] + [f"slack={s}tRC" for s in SLACKS],
+        rows_a,
+        title="Fig. 11a: PARA probability threshold (pth) vs NRH",
+    )
+    table_b = format_table(
+        ["NRH", "pRH(legacy)/1e-15"] + [f"slack={s}tRC /1e-15" for s in SLACKS],
+        rows_b,
+        title="Fig. 11b: overall RowHammer success probability (×1e-15)",
+    )
+    return table_a, table_b
+
+
+def test_fig11_security(benchmark):
+    table_a, table_b = benchmark(build_fig11)
+    emit("fig11_security", table_a + "\n\n" + table_b)
+
+    # Headline checks against the paper's quoted values.
+    assert solve_pth(1024) < 0.08 and solve_pth(64) > 0.8
+    assert k_factor(legacy_pth(1024), 1024) == __import__("pytest").approx(1.0331, abs=3e-3)
+    assert k_factor(legacy_pth(64), 64) == __import__("pytest").approx(1.3212, abs=3e-3)
+    # Revisited pths hold the target at every NRH; legacy pths exceed it.
+    for nrh in NRH_SWEEP:
+        assert rowhammer_success_probability(solve_pth(nrh), nrh) <= DEFAULT_TARGET * 1.001
+        assert rowhammer_success_probability(legacy_pth(nrh), nrh) > DEFAULT_TARGET

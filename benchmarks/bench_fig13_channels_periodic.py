@@ -1,0 +1,65 @@
+"""Figure 13: channel-count sweep with periodic refresh.
+
+Paper: performance grows with channels for baseline and HiRA alike
+(steeper from 1→4 than 4→8), and HiRA keeps a significant edge at every
+channel count (8.1% for HiRA-2 over the baseline at 8 channels, 32 Gbit).
+"""
+
+from repro.analysis.tables import format_table
+from repro.sim.config import SystemConfig
+
+from benchmarks.conftest import average_ws, emit, scale
+
+CHANNELS = (1, 2, 4, 8)
+CAPACITIES = scale((32.0,), (2.0, 8.0, 32.0))
+CONFIGS = (
+    ("Baseline", "baseline", {}),
+    ("HiRA-2", "hira", {"tref_slack_acts": 2}),
+    ("HiRA-4", "hira", {"tref_slack_acts": 4}),
+)
+
+
+def build_fig13():
+    results = {}
+    for capacity in CAPACITIES:
+        ref = average_ws(
+            SystemConfig(capacity_gbit=capacity, channels=1, refresh_mode="baseline")
+        )
+        for channels in CHANNELS:
+            for label, mode, extra in CONFIGS:
+                ws = average_ws(
+                    SystemConfig(
+                        capacity_gbit=capacity,
+                        channels=channels,
+                        refresh_mode=mode,
+                        **extra,
+                    )
+                )
+                results[(capacity, channels, label)] = ws / ref
+    labels = [label for label, __, __ in CONFIGS]
+    rows = [
+        [f"{c:.0f}Gb", ch] + [f"{results[(c, ch, l)]:.3f}" for l in labels]
+        for c in CAPACITIES
+        for ch in CHANNELS
+    ]
+    table = format_table(
+        ["Capacity", "Channels"] + labels,
+        rows,
+        title="Fig. 13: normalized weighted speedup vs channel count "
+        "(periodic refresh; normalized to Baseline @ 1 channel)",
+    )
+    return table, results
+
+
+def test_fig13_channels_periodic(benchmark):
+    table, results = benchmark.pedantic(build_fig13, rounds=1, iterations=1)
+    emit("fig13_channels_periodic", table)
+    capacity = CAPACITIES[-1]
+    # More channels help both schemes.
+    assert results[(capacity, 8, "Baseline")] > results[(capacity, 1, "Baseline")]
+    assert results[(capacity, 8, "HiRA-2")] > results[(capacity, 1, "HiRA-2")]
+    # HiRA stays ahead of the baseline at every channel count.
+    for channels in CHANNELS:
+        assert results[(capacity, channels, "HiRA-2")] >= results[
+            (capacity, channels, "Baseline")
+        ] * 0.995

@@ -1,0 +1,64 @@
+"""Figure 14: rank-count sweep with periodic refresh.
+
+Paper: 1→2 ranks helps (rank-level parallelism), beyond 2 ranks the shared
+command bus becomes the bottleneck and performance declines for baseline
+and HiRA alike — yet HiRA keeps a significant edge (12.1% at 8 ranks,
+32 Gbit).
+"""
+
+from repro.analysis.tables import format_table
+from repro.sim.config import SystemConfig
+
+from benchmarks.conftest import average_ws, emit, scale
+
+RANKS = (1, 2, 4, 8)
+CAPACITIES = scale((32.0,), (2.0, 8.0, 32.0))
+CONFIGS = (
+    ("Baseline", "baseline", {}),
+    ("HiRA-2", "hira", {"tref_slack_acts": 2}),
+    ("HiRA-4", "hira", {"tref_slack_acts": 4}),
+)
+
+
+def build_fig14():
+    results = {}
+    for capacity in CAPACITIES:
+        ref = average_ws(
+            SystemConfig(
+                capacity_gbit=capacity, ranks_per_channel=1, refresh_mode="baseline"
+            )
+        )
+        for ranks in RANKS:
+            for label, mode, extra in CONFIGS:
+                ws = average_ws(
+                    SystemConfig(
+                        capacity_gbit=capacity,
+                        ranks_per_channel=ranks,
+                        refresh_mode=mode,
+                        **extra,
+                    )
+                )
+                results[(capacity, ranks, label)] = ws / ref
+    labels = [label for label, __, __ in CONFIGS]
+    rows = [
+        [f"{c:.0f}Gb", r] + [f"{results[(c, r, l)]:.3f}" for l in labels]
+        for c in CAPACITIES
+        for r in RANKS
+    ]
+    table = format_table(
+        ["Capacity", "Ranks"] + labels,
+        rows,
+        title="Fig. 14: normalized weighted speedup vs rank count "
+        "(periodic refresh; normalized to Baseline @ 1 rank)",
+    )
+    return table, results
+
+
+def test_fig14_ranks_periodic(benchmark):
+    table, results = benchmark.pedantic(build_fig14, rounds=1, iterations=1)
+    emit("fig14_ranks_periodic", table)
+    capacity = CAPACITIES[-1]
+    # Two ranks beat one (rank-level parallelism).
+    assert results[(capacity, 2, "HiRA-2")] > results[(capacity, 1, "HiRA-2")]
+    # HiRA keeps an edge over the baseline even at 8 ranks.
+    assert results[(capacity, 8, "HiRA-2")] >= results[(capacity, 8, "Baseline")] * 0.995

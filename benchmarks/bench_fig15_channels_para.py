@@ -1,0 +1,66 @@
+"""Figure 15: channel-count sweep with PARA preventive refreshes.
+
+Paper: performance grows with channels for PARA with and without HiRA
+(fewer row conflicts → fewer activations → fewer preventive refreshes);
+HiRA improves over PARA at every channel count, with the largest margins
+at low RowHammer thresholds.
+"""
+
+from repro.analysis.tables import format_table
+from repro.sim.config import SystemConfig
+
+from benchmarks.conftest import average_ws, emit, scale
+
+CHANNELS = (1, 2, 4, 8)
+NRH_SWEEP = scale((1024, 64), (1024, 256, 64))
+CONFIGS = (
+    ("PARA", "baseline", {}),
+    ("HiRA-2", "hira", {"tref_slack_acts": 2}),
+    ("HiRA-4", "hira", {"tref_slack_acts": 4}),
+)
+
+
+def build_fig15():
+    ref = average_ws(
+        SystemConfig(capacity_gbit=8.0, channels=1, refresh_mode="baseline")
+    )
+    results = {}
+    for nrh in NRH_SWEEP:
+        for channels in CHANNELS:
+            for label, mode, extra in CONFIGS:
+                ws = average_ws(
+                    SystemConfig(
+                        capacity_gbit=8.0,
+                        channels=channels,
+                        refresh_mode=mode,
+                        para_nrh=float(nrh),
+                        **extra,
+                    )
+                )
+                results[(nrh, channels, label)] = ws / ref
+    labels = [label for label, __, __ in CONFIGS]
+    rows = [
+        [nrh, ch] + [f"{results[(nrh, ch, l)]:.3f}" for l in labels]
+        for nrh in NRH_SWEEP
+        for ch in CHANNELS
+    ]
+    table = format_table(
+        ["NRH", "Channels"] + labels,
+        rows,
+        title="Fig. 15: normalized weighted speedup vs channel count (PARA; "
+        "normalized to no-defense Baseline @ 1 channel)",
+    )
+    return table, results
+
+
+def test_fig15_channels_para(benchmark):
+    table, results = benchmark.pedantic(build_fig15, rounds=1, iterations=1)
+    emit("fig15_channels_para", table)
+    low_nrh = NRH_SWEEP[-1]
+    # Channels help PARA-protected systems too.
+    assert results[(low_nrh, 8, "PARA")] > results[(low_nrh, 1, "PARA")]
+    # HiRA improves over PARA at every channel count at the low threshold.
+    for channels in CHANNELS:
+        assert results[(low_nrh, channels, "HiRA-4")] >= results[
+            (low_nrh, channels, "PARA")
+        ] * 0.99

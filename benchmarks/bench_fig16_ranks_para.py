@@ -1,0 +1,63 @@
+"""Figure 16: rank-count sweep with PARA preventive refreshes.
+
+Paper: 1→2 ranks helps; beyond 2 ranks the shared command bus erodes
+HiRA's margin, but HiRA still improves over PARA substantially (30.5% for
+HiRA-2 and 42.9% for HiRA-4 at 8 ranks, NRH = 64).
+"""
+
+from repro.analysis.tables import format_table
+from repro.sim.config import SystemConfig
+
+from benchmarks.conftest import average_ws, emit, scale
+
+RANKS = (1, 2, 4, 8)
+NRH_SWEEP = scale((1024, 64), (1024, 256, 64))
+CONFIGS = (
+    ("PARA", "baseline", {}),
+    ("HiRA-2", "hira", {"tref_slack_acts": 2}),
+    ("HiRA-4", "hira", {"tref_slack_acts": 4}),
+)
+
+
+def build_fig16():
+    ref = average_ws(
+        SystemConfig(capacity_gbit=8.0, ranks_per_channel=1, refresh_mode="baseline")
+    )
+    results = {}
+    for nrh in NRH_SWEEP:
+        for ranks in RANKS:
+            for label, mode, extra in CONFIGS:
+                ws = average_ws(
+                    SystemConfig(
+                        capacity_gbit=8.0,
+                        ranks_per_channel=ranks,
+                        refresh_mode=mode,
+                        para_nrh=float(nrh),
+                        **extra,
+                    )
+                )
+                results[(nrh, ranks, label)] = ws / ref
+    labels = [label for label, __, __ in CONFIGS]
+    rows = [
+        [nrh, r] + [f"{results[(nrh, r, l)]:.3f}" for l in labels]
+        for nrh in NRH_SWEEP
+        for r in RANKS
+    ]
+    table = format_table(
+        ["NRH", "Ranks"] + labels,
+        rows,
+        title="Fig. 16: normalized weighted speedup vs rank count (PARA; "
+        "normalized to no-defense Baseline @ 1 rank)",
+    )
+    return table, results
+
+
+def test_fig16_ranks_para(benchmark):
+    table, results = benchmark.pedantic(build_fig16, rounds=1, iterations=1)
+    emit("fig16_ranks_para", table)
+    low_nrh = NRH_SWEEP[-1]
+    # HiRA beats PARA at every rank count at the low threshold.
+    for ranks in RANKS:
+        assert results[(low_nrh, ranks, "HiRA-4")] >= results[
+            (low_nrh, ranks, "PARA")
+        ] * 0.99

@@ -1,0 +1,65 @@
+"""Figure 4: HiRA coverage across rows for t1 × t2 combinations.
+
+Paper observations: (1) no zero-coverage rows at t1 ∈ {3, 4.5} ns for any
+tested t2; (2) ~32% average coverage at t1 = 3, t2 ∈ {3, 4.5}; (3) zero-
+coverage rows appear when t1 is 1.5 ns (sense amps not yet enabled) or
+6 ns (precharge no longer cleanly interruptible).
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.coverage import coverage_distribution, tested_row_sample as row_sample
+from repro.experiments.modules import TESTED_MODULES, build_module_chip
+
+from benchmarks.conftest import emit, scale
+
+T_VALUES_NS = (1.5, 3.0, 4.5, 6.0)
+ROW_STRIDE = scale(192, 32)
+ROWS_A_STEP = scale(12, 3)
+
+
+def build_fig4():
+    chip = build_module_chip(TESTED_MODULES[4])  # C0
+    rows = row_sample(chip.geometry, chunk=2048, stride=ROW_STRIDE)
+    rows_a = rows[::ROWS_A_STEP]
+    table_rows = []
+    grid = {}
+    for t1 in T_VALUES_NS:
+        for t2 in T_VALUES_NS:
+            dist = coverage_distribution(
+                chip, 0, int(t1 * 1_000), int(t2 * 1_000),
+                tested_rows=rows, rows_a=rows_a,
+            )
+            grid[(t1, t2)] = dist
+            table_rows.append(
+                [
+                    f"{t1:.1f}", f"{t2:.1f}",
+                    f"{dist.minimum:.3f}",
+                    f"{dist.average:.3f}",
+                    f"{dist.maximum:.3f}",
+                ]
+            )
+    table = format_table(
+        ["t1 (ns)", "t2 (ns)", "coverage min", "avg", "max"],
+        table_rows,
+        title="Fig. 4: HiRA coverage across tested rows vs (t1, t2)",
+    )
+    return table, grid
+
+
+def test_fig4_coverage(benchmark):
+    table, grid = benchmark.pedantic(build_fig4, rounds=1, iterations=1)
+    emit("fig4_coverage", table)
+
+    # Observation 1: no zero-coverage rows at t1 ∈ {3, 4.5} for any t2.
+    for t1 in (3.0, 4.5):
+        for t2 in T_VALUES_NS:
+            assert grid[(t1, t2)].minimum > 0.0
+    # Observation 2: ~32% average at the paper's best configurations.
+    best = grid[(3.0, 3.0)]
+    assert 0.2 < best.average < 0.45
+    # Observation 3: zero-coverage rows at the t1 extremes.
+    assert grid[(1.5, 3.0)].minimum == 0.0
+    assert grid[(6.0, 3.0)].minimum == 0.0
+    # Extremes are strictly worse on average than the centre.
+    assert grid[(1.5, 3.0)].average < best.average
+    assert grid[(6.0, 3.0)].average < best.average

@@ -1,0 +1,60 @@
+"""Figure 5: RowHammer threshold distributions with and without HiRA.
+
+Paper: 27.2K / 51.0K average absolute thresholds without / with HiRA
+(Fig. 5a); normalized threshold 1.9× on average with >1.7× for 88.1% of
+rows (Fig. 5b).
+"""
+
+from repro.analysis.stats import histogram, summarize
+from repro.analysis.tables import format_table
+from repro.experiments.coverage import tested_row_sample as row_sample
+from repro.experiments.modules import TESTED_MODULES, build_module_chip
+from repro.experiments.second_act import characterize_normalized_nrh
+
+from benchmarks.conftest import emit, scale
+
+N_VICTIMS = scale(36, 200)
+
+
+def build_fig5():
+    chip = build_module_chip(TESTED_MODULES[2])  # B0
+    rows = row_sample(chip.geometry, chunk=2048, stride=32)
+    victims = rows[:: max(1, len(rows) // N_VICTIMS)][:N_VICTIMS]
+    results = characterize_normalized_nrh(chip, 0, victims)
+    without = [r.threshold_without_hira for r in results]
+    with_h = [r.threshold_with_hira for r in results]
+    ratios = [r.normalized for r in results]
+
+    hist_rows = []
+    for label, values in (("without HiRA", without), ("with HiRA", with_h)):
+        for lo, hi, frac in histogram(values, bins=8, lo=10_000, hi=90_000):
+            hist_rows.append([label, f"{lo / 1000:.0f}K", f"{hi / 1000:.0f}K", f"{frac:.3f}"])
+    table_a = format_table(
+        ["arm", "bin lo", "bin hi", "fraction of rows"],
+        hist_rows,
+        title="Fig. 5a: absolute RowHammer threshold histograms",
+    )
+    ratio_rows = [
+        [f"{lo:.2f}", f"{hi:.2f}", f"{frac:.3f}"]
+        for lo, hi, frac in histogram(ratios, bins=8, lo=1.0, hi=3.0)
+    ]
+    table_b = format_table(
+        ["ratio lo", "ratio hi", "fraction of rows"],
+        ratio_rows,
+        title="Fig. 5b: normalized RowHammer threshold histogram",
+    )
+    return table_a, table_b, without, with_h, ratios
+
+
+def test_fig5_nrh_histogram(benchmark):
+    table_a, table_b, without, with_h, ratios = benchmark.pedantic(
+        build_fig5, rounds=1, iterations=1
+    )
+    emit("fig5_nrh_histogram", table_a + "\n\n" + table_b)
+
+    wo, wi, ra = summarize(without), summarize(with_h), summarize(ratios)
+    assert 22_000 < wo.mean < 33_000  # paper: 27.2K
+    assert 40_000 < wi.mean < 62_000  # paper: 51.0K
+    assert 1.7 < ra.mean < 2.1  # paper: 1.9×
+    frac_above_17 = sum(1 for r in ratios if r > 1.7) / len(ratios)
+    assert frac_above_17 > 0.6  # paper: 88.1%

@@ -1,0 +1,74 @@
+"""Figure 6: normalized RowHammer threshold across banks (A0, B0, C0).
+
+Paper: normalized thresholds above 1.56× in every bank, per-bank averages
+between 1.80× and 1.97×, overall 1.89×; and HiRA's pairable rows are
+identical across all 16 banks (§4.4.1).
+"""
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.experiments.bank_variation import (
+    coverage_identical_across_banks,
+    per_bank_normalized_nrh,
+)
+from repro.experiments.coverage import tested_row_sample as row_sample
+from repro.experiments.modules import TESTED_MODULES, build_module_chip
+
+from benchmarks.conftest import emit, scale
+
+BANKS = scale([0, 3, 7, 11, 15], list(range(16)))
+N_VICTIMS = scale(6, 24)
+
+
+def build_fig6():
+    rows_out = []
+    bank_means = []
+    for label in ("A0", "B0", "C0"):
+        module = next(m for m in TESTED_MODULES if m.label == label)
+        chip = build_module_chip(module)
+        sample = row_sample(chip.geometry, chunk=2048, stride=64)
+        victims = sample[:: max(1, len(sample) // N_VICTIMS)][:N_VICTIMS]
+        by_bank = per_bank_normalized_nrh(chip, victims, banks=BANKS)
+        for bank, results in by_bank.items():
+            box = summarize([r.normalized for r in results])
+            bank_means.append(box.mean)
+            rows_out.append(
+                [label, bank, f"{box.minimum:.2f}", f"{box.q1:.2f}",
+                 f"{box.median:.2f}", f"{box.q3:.2f}", f"{box.maximum:.2f}",
+                 f"{box.mean:.2f}"]
+            )
+    table = format_table(
+        ["Module", "Bank", "min", "q1", "median", "q3", "max", "mean"],
+        rows_out,
+        title="Fig. 6: normalized RowHammer threshold per bank (with HiRA)",
+    )
+    return table, bank_means
+
+
+def test_fig6_bank_variation(benchmark):
+    table, bank_means = benchmark.pedantic(build_fig6, rounds=1, iterations=1)
+    emit("fig6_bank_variation", table)
+    overall = sum(bank_means) / len(bank_means)
+    assert 1.7 < overall < 2.1  # paper: 1.89× across banks
+    assert min(bank_means) > 1.5  # paper: > 1.56× everywhere
+    assert max(bank_means) - min(bank_means) < 0.5
+
+
+def test_fig6_pairs_identical_across_banks(benchmark):
+    chip = build_module_chip(TESTED_MODULES[4])
+    iso = chip.isolation
+    geom = chip.geometry
+    pairs = []
+    for sa in range(0, geom.subarrays_per_bank, 9):
+        partners = iso.partners(sa)
+        if partners:
+            pairs.append((geom.row_of(sa, 3), geom.row_of(partners[0], 4)))
+        pairs.append((geom.row_of(sa, 3), geom.row_of((sa + 1) % geom.subarrays_per_bank, 4)))
+    identical = benchmark.pedantic(
+        coverage_identical_across_banks,
+        args=(chip, pairs[: scale(4, 16)]),
+        kwargs={"banks": BANKS},
+        rounds=1,
+        iterations=1,
+    )
+    assert identical

@@ -1,0 +1,76 @@
+"""Figure 9: periodic-refresh overhead vs DRAM chip capacity.
+
+(a) Weighted speedup normalized to the ideal No-Refresh system: the
+baseline's REF overhead grows with capacity (26.3% at 128 Gbit in the
+paper); HiRA recovers a substantial part of it.
+(b) Normalized to the baseline: HiRA's improvement grows with capacity
+(paper: 2.4% at 2 Gbit → 12.6% at 128 Gbit for HiRA-2), and
+HiRA-2 ≈ HiRA-4 ≈ HiRA-8.
+"""
+
+from repro.analysis.tables import format_table
+from repro.sim.config import SystemConfig
+
+from benchmarks.conftest import average_ws, emit, scale
+
+CAPACITIES = scale((2.0, 8.0, 32.0, 128.0), (2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0))
+CONFIGS = (
+    ("Baseline", "baseline", {}),
+    ("HiRA-0", "hira", {"tref_slack_acts": 0}),
+    ("HiRA-2", "hira", {"tref_slack_acts": 2}),
+    ("HiRA-4", "hira", {"tref_slack_acts": 4}),
+    ("HiRA-8", "hira", {"tref_slack_acts": 8}),
+)
+
+
+def build_fig9():
+    norm_to_ideal = {}
+    norm_to_baseline = {}
+    for capacity in CAPACITIES:
+        ideal = average_ws(SystemConfig(capacity_gbit=capacity, refresh_mode="none"))
+        baseline = None
+        for label, mode, extra in CONFIGS:
+            ws = average_ws(
+                SystemConfig(capacity_gbit=capacity, refresh_mode=mode, **extra)
+            )
+            if label == "Baseline":
+                baseline = ws
+            norm_to_ideal[(capacity, label)] = ws / ideal
+            norm_to_baseline[(capacity, label)] = ws / baseline
+    labels = [label for label, __, __ in CONFIGS]
+    rows_a = [
+        [f"{c:.0f}Gb"] + [f"{norm_to_ideal[(c, l)]:.3f}" for l in labels]
+        for c in CAPACITIES
+    ]
+    rows_b = [
+        [f"{c:.0f}Gb"] + [f"{norm_to_baseline[(c, l)]:.3f}" for l in labels]
+        for c in CAPACITIES
+    ]
+    table_a = format_table(
+        ["Capacity"] + labels, rows_a,
+        title="Fig. 9a: weighted speedup normalized to No Refresh",
+    )
+    table_b = format_table(
+        ["Capacity"] + labels, rows_b,
+        title="Fig. 9b: weighted speedup normalized to Baseline",
+    )
+    return table_a, table_b, norm_to_ideal, norm_to_baseline
+
+
+def test_fig9_periodic_refresh(benchmark):
+    table_a, table_b, to_ideal, to_base = benchmark.pedantic(
+        build_fig9, rounds=1, iterations=1
+    )
+    emit("fig9_periodic_refresh", table_a + "\n\n" + table_b)
+
+    biggest = CAPACITIES[-1]
+    smallest = CAPACITIES[0]
+    # Baseline refresh overhead grows with capacity.
+    assert to_ideal[(biggest, "Baseline")] < to_ideal[(smallest, "Baseline")]
+    assert to_ideal[(biggest, "Baseline")] < 0.92
+    # HiRA-2 matches or beats the baseline at high capacity (the paper's
+    # +12.6%; quick-mode 2-mix averages show a smaller but non-negative
+    # margin — see EXPERIMENTS.md).
+    assert to_base[(biggest, "HiRA-2")] > 0.99
+    # HiRA-2 and HiRA-4 track each other (paper: 2 ≈ 4 ≈ 8).
+    assert abs(to_base[(biggest, "HiRA-2")] - to_base[(biggest, "HiRA-4")]) < 0.05

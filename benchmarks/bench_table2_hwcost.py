@@ -1,0 +1,49 @@
+"""Table 2: HiRA-MC component area and access latency.
+
+Paper values: Refresh Table 0.00031 mm²/0.07 ns, RefPtr Table
+0.00683/0.12, PR-FIFO 0.00029/0.07, SPT 0.00180/0.09; overall 0.00923 mm²
+(0.0023% of a 22 nm die) with a 6.31 ns worst-case query.
+"""
+
+from repro.analysis.tables import format_table
+from repro.hwcost.report import (
+    area_fraction_of_reference_die,
+    component_estimates,
+    overall_area_mm2,
+    worst_case_query_latency_ns,
+)
+
+from benchmarks.conftest import emit
+
+
+def build_table2() -> str:
+    rows = []
+    for est in component_estimates():
+        rows.append(
+            [
+                est.array.name,
+                f"{est.area_mm2:.5f}",
+                f"{100 * est.area_mm2 / 400.0:.4f}%",
+                f"{est.access_latency_ns:.2f} ns",
+            ]
+        )
+    rows.append(
+        [
+            "Overall",
+            f"{overall_area_mm2():.5f}",
+            f"{100 * area_fraction_of_reference_die():.4f}%",
+            f"{worst_case_query_latency_ns():.2f} ns (worst-case query)",
+        ]
+    )
+    return format_table(
+        ["HiRA-MC Component", "Area (mm^2)", "Area (%)", "Access Latency"],
+        rows,
+        title="Table 2: HiRA-MC hardware complexity (per DRAM rank, 22 nm)",
+    )
+
+
+def test_table2_hwcost(benchmark):
+    table = benchmark(build_table2)
+    emit("table2_hwcost", table)
+    assert worst_case_query_latency_ns() < 14.5  # fits under tRP
+    assert overall_area_mm2() < 0.012

@@ -1,0 +1,106 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the corresponding rows/series (also written to ``benchmarks/results/``).
+Cycle-level benches are scaled down by default so the whole harness runs in
+tens of minutes; set ``REPRO_FULL=1`` for paper-scale sweeps (more mixes,
+longer instruction budgets, all configurations).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.system import SimResult, System
+from repro.workloads.mixes import mix_for
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def scale(quick, full):
+    """Pick the quick or the paper-scale value of a knob."""
+    return full if FULL else quick
+
+
+#: Default sizing for cycle-level benches.
+N_MIXES = scale(2, 15)
+INSTR_BUDGET = scale(100_000, 400_000)
+MAX_CYCLES = scale(10_000_000, 60_000_000)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table (bypassing capture) and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}", file=sys.__stdout__, flush=True)
+
+
+def run_config(
+    config: SystemConfig,
+    mix_id: int,
+    instr_budget: int = None,
+    max_cycles: int = None,
+    seed_base: int = 100,
+) -> SimResult:
+    """One simulation run of a workload mix on a configuration."""
+    mix = mix_for(mix_id, cores=config.cores)
+    system = System(
+        config, mix, seed=seed_base + mix_id, instr_budget=instr_budget or INSTR_BUDGET
+    )
+    return system.run(max_cycles=max_cycles or MAX_CYCLES)
+
+
+def run_profiles(
+    config: SystemConfig,
+    profiles,
+    seed: int,
+    instr_budget: int = None,
+    max_cycles: int = None,
+) -> SimResult:
+    """One run with an explicit profile list (for targeted ablations)."""
+    system = System(
+        config, profiles, seed=seed, instr_budget=instr_budget or INSTR_BUDGET
+    )
+    return system.run(max_cycles=max_cycles or MAX_CYCLES)
+
+
+def average_ws_profiles(config: SystemConfig, profiles, n_seeds: int = None) -> float:
+    """Average weighted speedup over seeds for a fixed profile mix."""
+    n = n_seeds or N_MIXES
+    total = 0.0
+    for seed in range(n):
+        total += run_profiles(config, profiles, seed=300 + seed).weighted_speedup
+    return total / n
+
+
+def streaming_mix(cores: int = 8):
+    """A row-hit-friendly memory-bound mix: the bank-time-bound regime
+    where HiRA's parallelization choices are clearly exposed (high-MPKI,
+    high-locality streaming cores)."""
+    from repro.sim.trace import TraceProfile
+
+    return [
+        TraceProfile("stream", mpki=20.0, row_locality=0.85, read_fraction=0.7)
+    ] * cores
+
+
+def average_ws(config: SystemConfig, n_mixes: int = None, **run_kwargs) -> float:
+    """Average weighted speedup across workload mixes."""
+    n = n_mixes or N_MIXES
+    total = 0.0
+    for mix_id in range(n):
+        total += run_config(config, mix_id, **run_kwargs).weighted_speedup
+    return total / n
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

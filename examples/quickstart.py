@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: perform a HiRA operation on a simulated off-the-shelf chip.
+
+Demonstrates the paper's core claim end to end:
+
+1. Build a chip model of one of the tested SK Hynix DDR4 modules.
+2. Initialize two rows in electrically isolated subarrays.
+3. Issue HiRA's engineered ACT → (t1) → PRE → (t2) → ACT sequence.
+4. Verify both rows are open, no data was corrupted, and the two-row
+   refresh took 38 ns instead of the nominal 78.25 ns (−51.4%).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.dram.timing import (
+    hira_latency_reduction,
+    hira_two_row_refresh_latency_ps,
+    nominal_two_row_refresh_latency_ps,
+)
+from repro.experiments.modules import TESTED_MODULES, build_module_chip
+from repro.softmc.host import SoftMCHost
+from repro.softmc.patterns import DataPattern
+
+
+def main() -> None:
+    module = TESTED_MODULES[4]  # C0: SK Hynix HMAA4GU6AJR8N-XN
+    chip = build_module_chip(module)
+    host = SoftMCHost(chip)
+    print(f"Chip under test: {chip.design.name}")
+    print(f"  {chip.geometry.subarrays_per_bank} subarrays/bank, "
+          f"{chip.geometry.rows_per_bank} rows/bank")
+
+    # Pick two rows whose subarrays share no bitline or sense amplifier.
+    bank = 0
+    subarray_a = 2
+    partners = chip.isolation.partners(subarray_a)
+    if not partners:
+        raise SystemExit("no isolated partner subarray found (unexpected)")
+    row_a = chip.geometry.row_of(subarray_a, 100)
+    row_b = chip.geometry.row_of(partners[0], 200)
+    print(f"  RowA = {row_a} (subarray {subarray_a}), "
+          f"RowB = {row_b} (subarray {partners[0]}; electrically isolated)")
+
+    # Initialize with inverse checkerboard patterns (the hardest case).
+    host.initialize(bank, row_a, DataPattern.CHECKERBOARD)
+    host.initialize(bank, row_b, DataPattern.INV_CHECKERBOARD)
+
+    # HiRA: ACT RowA, wait t1 = 3 ns, PRE, wait t2 = 3 ns, ACT RowB.
+    host.hira(bank, row_a, row_b, close=False)
+    print(f"\nAfter HiRA: {chip.open_row_count(bank)} rows concurrently open "
+          f"in bank {bank} (RowA restoring while RowB activated)")
+
+    open_row, data = chip.read_open_row(bank)
+    print(f"Bank I/O serves RowB ({open_row}); first byte = 0x{data[0]:02X}")
+
+    # One PRE closes both rows (paper footnote 1).
+    tp = chip.timing
+    host.run(host.program().pre(bank, wait_ps=tp.trp))
+    host.advance(100_000)
+
+    flips_a = host.compare_data(DataPattern.CHECKERBOARD, bank, row_a)
+    flips_b = host.compare_data(DataPattern.INV_CHECKERBOARD, bank, row_b)
+    print(f"\nBit flips after HiRA + readback: RowA={flips_a}, RowB={flips_b}")
+    assert flips_a == 0 and flips_b == 0, "HiRA corrupted data (unexpected)"
+
+    nominal = nominal_two_row_refresh_latency_ps() / 1_000
+    hira = hira_two_row_refresh_latency_ps() / 1_000
+    print(f"\nTwo-row refresh latency: {hira:.2f} ns with HiRA vs "
+          f"{nominal:.2f} ns nominal "
+          f"(-{100 * hira_latency_reduction():.1f}%)")
+    print("OK: HiRA parallelized the two activations without data loss.")
+
+
+if __name__ == "__main__":
+    main()

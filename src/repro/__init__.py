@@ -1,0 +1,17 @@
+"""HiRA: Hidden Row Activation (MICRO 2022) — full-system reproduction.
+
+Public entry points:
+
+- :mod:`repro.dram` — DDR4 commands, timing, geometry.
+- :mod:`repro.chip` — circuit-level behavioural chip model.
+- :mod:`repro.softmc` — SoftMC-style characterization host.
+- :mod:`repro.rowhammer` — thresholds, PARA, security analysis.
+- :mod:`repro.experiments` — §4 experiment drivers.
+- :mod:`repro.sim` — cycle-level DRAM system simulator.
+- :mod:`repro.core` — the HiRA operation and HiRA-MC.
+- :mod:`repro.workloads` — SPEC-like synthetic workloads and mixes.
+- :mod:`repro.hwcost` — SRAM area/latency model (Table 2).
+- :mod:`repro.analysis` — result summarization helpers.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,6 @@
+"""Result summarization: box-whisker stats, histograms, table rendering."""
+
+from repro.analysis.stats import BoxWhisker, histogram, summarize
+from repro.analysis.tables import format_table
+
+__all__ = ["BoxWhisker", "format_table", "histogram", "summarize"]

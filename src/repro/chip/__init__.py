@@ -1,0 +1,40 @@
+"""Circuit-level behavioural model of a DDR4 DRAM chip.
+
+This package substitutes for the paper's real-chip infrastructure (§4).  It
+models the *structural* properties that determine whether a HiRA operation
+succeeds on a given chip:
+
+- :mod:`repro.chip.variation` — per-row process/design-induced variation in
+  sense-amplifier enable time, precharge-interrupt deadlines, RowHammer
+  thresholds, and charge-restoration quality.
+- :mod:`repro.chip.isolation` — the subarray charge-restoration-circuitry
+  map that decides which row pairs are electrically isolated (HiRA's
+  operating condition 4).
+- :mod:`repro.chip.vendor` — vendor-class behaviour for timing-violating
+  command sequences (SK Hynix-like designs perform HiRA; Samsung/Micron-like
+  designs ignore the violating PRE/ACT, §12).
+- :mod:`repro.chip.design` — a complete chip design description.
+- :mod:`repro.chip.disturb` — RowHammer disturbance accumulation and bit-flip
+  materialization.
+- :mod:`repro.chip.chip_model` — the chip itself: executes picosecond-timed
+  DDR4 command sequences, including HiRA's engineered ACT-PRE-ACT.
+"""
+
+from repro.chip.chip_model import DramChip
+from repro.chip.design import ChipDesign, make_design
+from repro.chip.disturb import DisturbState
+from repro.chip.isolation import IsolationMap
+from repro.chip.variation import DesignVariation, RowTiming, VariationModel
+from repro.chip.vendor import VendorClass
+
+__all__ = [
+    "ChipDesign",
+    "DesignVariation",
+    "DisturbState",
+    "DramChip",
+    "IsolationMap",
+    "RowTiming",
+    "VariationModel",
+    "VendorClass",
+    "make_design",
+]

@@ -1,0 +1,188 @@
+"""Per-row process/design-induced variation.
+
+§4.2 attributes HiRA's t1/t2 feasibility window to variation in row
+activation latency: a HiRA operation fails when t1 is shorter than the time
+the row's sense amplifiers need to latch (``sa_enable``), or longer than the
+point at which the local row buffer has already been handed to the bank I/O
+and the precharge can no longer be interrupted cleanly
+(``interrupt_deadline``).  The distributions below are calibrated so that
+
+- at ``t1 ∈ {3, 4.5} ns`` *every* row is inside its window (the paper
+  observes no zero-coverage rows there),
+- at ``t1 = 1.5 ns`` only the fastest rows work, and at ``t1 = 6 ns`` only
+  the slowest rows still allow interruption (the paper observes
+  zero-coverage rows at both extremes).
+
+The same model carries the RowHammer-related per-row quantities used by
+§4.3: the intrinsic RowHammer threshold (``nrh``), the residual disturbance
+that survives a refresh (``residual``), and the post-refresh charge-margin
+boost (``boost``).  Together these reproduce the measured ~1.9× normalized
+threshold with the 1.09–2.58 spread of Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chip.rng import rng_for
+
+
+def _clipped_normal(rng, mean: float, std: float, lo: float, hi: float) -> float:
+    return float(min(hi, max(lo, rng.normal(mean, std))))
+
+
+@dataclass(frozen=True, slots=True)
+class DesignVariation:
+    """Distribution parameters for a chip design's per-row variation.
+
+    Times are in nanoseconds; they are converted to picoseconds when
+    sampled.  ``nrh_log_mean``/``nrh_log_std`` parameterize a lognormal
+    RowHammer threshold whose defaults centre near the paper's measured
+    27.2K average (§4.3).
+    """
+
+    sa_enable_mean_ns: float = 2.1
+    sa_enable_std_ns: float = 0.35
+    sa_enable_lo_ns: float = 1.2
+    sa_enable_hi_ns: float = 2.9
+
+    interrupt_deadline_mean_ns: float = 5.3
+    interrupt_deadline_std_ns: float = 0.4
+    interrupt_deadline_lo_ns: float = 4.6
+    interrupt_deadline_hi_ns: float = 6.4
+
+    io_disconnect_mean_ns: float = 1.1
+    io_disconnect_std_ns: float = 0.2
+    io_disconnect_lo_ns: float = 0.7
+    io_disconnect_hi_ns: float = 1.5
+
+    wordline_window_mean_ns: float = 7.4
+    wordline_window_std_ns: float = 0.5
+    wordline_window_lo_ns: float = 6.1
+    wordline_window_hi_ns: float = 9.0
+
+    #: Extra sense-amp margin needed by alternating (checkerboard) data.
+    checkerboard_margin_ns: float = 0.08
+
+    # A double-sided attack with per-aggressor count HC/2 exposes the victim
+    # to ~2·HC adjacent activations per Algorithm 2 phase, so the *measured*
+    # threshold is about half the intrinsic one; exp(10.9) ≈ 54.3K intrinsic
+    # yields the paper's ~27.2K measured average (§4.3).
+    nrh_log_mean: float = 10.904
+    nrh_log_std: float = 0.28
+    nrh_lo: float = 19_200.0
+    nrh_hi: float = 164_000.0
+
+    residual_mean: float = 0.10
+    residual_std: float = 0.10
+    residual_lo: float = 0.0
+    residual_hi: float = 0.60
+
+    boost_mean: float = 1.16
+    boost_std: float = 0.16
+    boost_lo: float = 0.82
+    boost_hi: float = 1.48
+
+    #: Per-run multiplicative noise on the effective threshold (lognormal σ).
+    #: Retention/VRT noise lets measured normalized thresholds exceed 2×
+    #: occasionally, as Table 4's maxima (up to 2.58×) show.
+    run_noise_sigma: float = 0.10
+
+    #: Charge restoration completes after this fraction of tRAS (uniform).
+    restore_frac_lo: float = 0.86
+    restore_frac_hi: float = 1.00
+
+
+@dataclass(frozen=True, slots=True)
+class RowTiming:
+    """Sampled per-row circuit characteristics (times in picoseconds)."""
+
+    sa_enable_ps: int
+    interrupt_deadline_ps: int
+    io_disconnect_ps: int
+    wordline_window_ps: int
+    checkerboard_margin_ps: int
+    restore_frac: float
+    nrh: float
+    residual: float
+    boost: float
+
+    def restore_needed_ps(self, tras_ps: int) -> int:
+        """Time after ACT at which this row's charge is fully restored."""
+        return round(self.restore_frac * tras_ps)
+
+    def t1_window_ok(self, t1_ps: int, checkerboard: bool) -> bool:
+        """Whether an ACT→PRE gap of ``t1_ps`` keeps this row safe."""
+        need = self.sa_enable_ps + (self.checkerboard_margin_ps if checkerboard else 0)
+        return need <= t1_ps <= self.interrupt_deadline_ps
+
+    def t2_interrupts(self, t2_ps: int) -> bool:
+        """Whether a PRE→ACT gap of ``t2_ps`` interrupts the precharge."""
+        return t2_ps <= self.wordline_window_ps
+
+    def t2_isolates_io(self, t2_ps: int) -> bool:
+        """Whether ``t2_ps`` suffices to hand bank I/O to the new row."""
+        return t2_ps >= self.io_disconnect_ps
+
+
+class VariationModel:
+    """Lazy, cached sampler of :class:`RowTiming` per (bank, row).
+
+    All samples are deterministic functions of ``(chip_seed, bank, row)``;
+    re-creating the model reproduces the same chip.
+    """
+
+    def __init__(self, params: DesignVariation, chip_seed: int):
+        self.params = params
+        self.chip_seed = chip_seed
+        self._cache: dict[tuple[int, int], RowTiming] = {}
+
+    def row_timing(self, bank: int, row: int) -> RowTiming:
+        key = (bank, row)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        p = self.params
+        rng = rng_for(self.chip_seed, 0x7A11, bank, row)
+        timing = RowTiming(
+            sa_enable_ps=round(
+                _clipped_normal(
+                    rng, p.sa_enable_mean_ns, p.sa_enable_std_ns,
+                    p.sa_enable_lo_ns, p.sa_enable_hi_ns,
+                ) * 1_000
+            ),
+            interrupt_deadline_ps=round(
+                _clipped_normal(
+                    rng, p.interrupt_deadline_mean_ns, p.interrupt_deadline_std_ns,
+                    p.interrupt_deadline_lo_ns, p.interrupt_deadline_hi_ns,
+                ) * 1_000
+            ),
+            io_disconnect_ps=round(
+                _clipped_normal(
+                    rng, p.io_disconnect_mean_ns, p.io_disconnect_std_ns,
+                    p.io_disconnect_lo_ns, p.io_disconnect_hi_ns,
+                ) * 1_000
+            ),
+            wordline_window_ps=round(
+                _clipped_normal(
+                    rng, p.wordline_window_mean_ns, p.wordline_window_std_ns,
+                    p.wordline_window_lo_ns, p.wordline_window_hi_ns,
+                ) * 1_000
+            ),
+            checkerboard_margin_ps=round(p.checkerboard_margin_ns * 1_000),
+            restore_frac=float(rng.uniform(p.restore_frac_lo, p.restore_frac_hi)),
+            nrh=float(
+                min(p.nrh_hi, max(p.nrh_lo, rng.lognormal(p.nrh_log_mean, p.nrh_log_std)))
+            ),
+            residual=_clipped_normal(
+                rng, p.residual_mean, p.residual_std, p.residual_lo, p.residual_hi
+            ),
+            boost=_clipped_normal(rng, p.boost_mean, p.boost_std, p.boost_lo, p.boost_hi),
+        )
+        self._cache[key] = timing
+        return timing
+
+    def run_noise(self, bank: int, row: int, run: int) -> float:
+        """Per-test-run multiplicative noise on the effective NRH."""
+        rng = rng_for(self.chip_seed, 0x4015E, bank, row, run)
+        return float(rng.lognormal(0.0, self.params.run_noise_sigma))

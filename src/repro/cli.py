@@ -1,0 +1,153 @@
+"""Command-line entry points for the reproduction.
+
+Three subcommands mirror the repository's main workflows:
+
+- ``characterize`` — run the §4 experiments on a tested module.
+- ``simulate`` — one cycle-level run of a refresh configuration.
+- ``security`` — print PARA's (revisited) configuration for a threshold.
+
+Usage::
+
+    python -m repro.cli characterize --module C0
+    python -m repro.cli simulate --capacity 128 --mode hira --slack 2
+    python -m repro.cli security --nrh 128 --slack 4
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.experiments.coverage import coverage_distribution, tested_row_sample
+    from repro.experiments.modules import TESTED_MODULES, build_module_chip
+    from repro.experiments.second_act import characterize_normalized_nrh
+
+    module = next((m for m in TESTED_MODULES if m.label == args.module), None)
+    if module is None:
+        print(f"unknown module {args.module!r}; choose from "
+              f"{[m.label for m in TESTED_MODULES]}")
+        return 2
+    chip = build_module_chip(module)
+    rows = tested_row_sample(chip.geometry, chunk=2048, stride=args.stride)
+    coverage = coverage_distribution(
+        chip, 0, chip.timing.hira_t1, chip.timing.hira_t2,
+        tested_rows=rows, rows_a=rows[:: args.rows_a_step],
+    )
+    victims = rows[:: max(1, len(rows) // args.victims)][: args.victims]
+    thresholds = characterize_normalized_nrh(chip, 0, victims)
+    ratios = summarize([r.normalized for r in thresholds])
+    print(format_table(
+        ["metric", "min", "avg/mean", "max"],
+        [
+            ["HiRA coverage", f"{coverage.minimum:.3f}", f"{coverage.average:.3f}",
+             f"{coverage.maximum:.3f}"],
+            ["normalized NRH", f"{ratios.minimum:.2f}", f"{ratios.mean:.2f}",
+             f"{ratios.maximum:.2f}"],
+        ],
+        title=f"Module {module.label} ({module.chip_identifier})",
+    ))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.config import SystemConfig
+    from repro.sim.system import System
+    from repro.workloads.mixes import mix_for
+
+    config = SystemConfig(
+        capacity_gbit=args.capacity,
+        channels=args.channels,
+        ranks_per_channel=args.ranks,
+        refresh_mode=args.mode,
+        tref_slack_acts=args.slack,
+        para_nrh=args.para_nrh,
+    )
+    result = System(
+        config, mix_for(args.mix), seed=args.seed, instr_budget=args.instructions
+    ).run()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["weighted speedup", f"{result.weighted_speedup:.3f}"],
+            ["cycles", result.cycles],
+            ["reads served", result.stat_total("reads_served")],
+            ["REF commands", result.stat_total("refs")],
+            ["solo refreshes", result.stat_total("solo_refreshes")],
+            ["refresh-access HiRA ops", result.stat_total("hira_access_parallelized")],
+            ["refresh-refresh HiRA ops", result.stat_total("hira_refresh_parallelized")],
+            ["preventive refreshes", result.stat_total("preventive_generated")],
+            ["deadline misses", result.stat_total("deadline_misses")],
+        ],
+        title=f"{args.mode} @ {args.capacity:.0f} Gbit, mix {args.mix}",
+    ))
+    return 0
+
+
+def _cmd_security(args: argparse.Namespace) -> int:
+    from repro.rowhammer.security import (
+        k_factor,
+        legacy_pth,
+        n_ref_slack_for,
+        rowhammer_success_probability,
+        solve_pth,
+    )
+
+    slack_ns = args.slack * 46.25
+    legacy = legacy_pth(args.nrh)
+    revisited = solve_pth(args.nrh, n_ref_slack_for(slack_ns))
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["PARA-Legacy pth", f"{legacy:.4f}"],
+            ["revisited pth (slack-adjusted)", f"{revisited:.4f}"],
+            ["pRH with legacy pth", f"{rowhammer_success_probability(legacy, args.nrh):.3e}"],
+            ["pRH with revisited pth",
+             f"{rowhammer_success_probability(revisited, args.nrh, n_ref_slack_for(slack_ns)):.3e}"],
+            ["k factor (Exp. 9)", f"{k_factor(legacy, args.nrh):.4f}"],
+        ],
+        title=f"PARA configuration for NRH={args.nrh}, tRefSlack={args.slack}·tRC",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="run the §4 experiments on a module")
+    p.add_argument("--module", default="C0")
+    p.add_argument("--stride", type=int, default=64)
+    p.add_argument("--rows-a-step", type=int, default=12, dest="rows_a_step")
+    p.add_argument("--victims", type=int, default=8)
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("simulate", help="one cycle-level simulation run")
+    p.add_argument("--capacity", type=float, default=8.0)
+    p.add_argument("--channels", type=int, default=1)
+    p.add_argument("--ranks", type=int, default=1)
+    p.add_argument("--mode", choices=("none", "baseline", "elastic", "hira"), default="hira")
+    p.add_argument("--slack", type=int, default=2)
+    p.add_argument("--para-nrh", type=float, default=None, dest="para_nrh")
+    p.add_argument("--mix", type=int, default=0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--instructions", type=int, default=100_000)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("security", help="PARA configuration for a threshold")
+    p.add_argument("--nrh", type=float, default=128.0)
+    p.add_argument("--slack", type=int, default=0)
+    p.set_defaults(func=_cmd_security)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,300 @@
+"""HiRA-MC: the Concurrent Refresh Finder wired into the scheduler (§5).
+
+The engine performs the paper's three actions in decreasing priority:
+
+1. **Refresh-access parallelization** — when the scheduler activates a
+   demand row, ride a pending refresh on the activation as a HiRA
+   operation (Fig. 8, Case 1).
+2. **Refresh-refresh parallelization** — when a queued refresh approaches
+   its deadline (within tRC), pair it with another queued refresh to the
+   same bank whose subarray is isolated (Fig. 8, Case 2).
+3. **Solo refresh at the deadline** — a nominal ACT+PRE if neither
+   parallelization is possible.
+
+Periodic refresh requests are generated per bank at the rate
+``tREFW / rows_per_bank`` with per-bank staggered offsets (§5.1.1);
+preventive (PARA) requests enter the PR-FIFO with a deadline of
+``now + tRefSlack`` (§5.1.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.pr_fifo import PreventiveRequest, PrFifo
+from repro.core.refptr_table import RefPtrTable
+from repro.core.spt import SubarrayPairsTable
+from repro.sim.controller import RefreshEngine
+from repro.sim.request import Request
+
+_FAR_FUTURE = 1 << 60
+
+
+@dataclass
+class _BankPeriodicState:
+    """Lazily generated periodic refresh stream for one (rank, bank)."""
+
+    period: float
+    next_gen: float
+    pending: deque = field(default_factory=deque)  # generation cycles
+    sa_ptr: int = 0
+
+
+class HiraRefreshEngine(RefreshEngine):
+    """HiRA-MC's refresh policy, pluggable into the memory controller."""
+
+    def __init__(
+        self,
+        tref_slack_acts: int = 2,
+        coverage: float = 0.32,
+        stagger: bool = True,
+        disable_access_parallelization: bool = False,
+        disable_refresh_parallelization: bool = False,
+        pr_fifo_depth: int = 4,
+    ):
+        super().__init__()
+        self.tref_slack_acts = tref_slack_acts
+        self.coverage = coverage
+        self.stagger = stagger
+        self.disable_access_parallelization = disable_access_parallelization
+        self.disable_refresh_parallelization = disable_refresh_parallelization
+        self.pr_fifo_depth = pr_fifo_depth
+
+    # ------------------------------------------------------------------
+    def attach(self, mc) -> None:
+        super().attach(mc)
+        config = mc.config
+        geom = config.geometry
+        self.slack_c = self.tref_slack_acts * mc.trc_c
+        self.spt = SubarrayPairsTable(geom, coverage=self.coverage)
+        self.refptr = {r: RefPtrTable(geom) for r in range(config.ranks_per_channel)}
+        self.pr = {
+            r: PrFifo(geom.banks_per_rank, depth=self.pr_fifo_depth)
+            for r in range(config.ranks_per_channel)
+        }
+        period = config.per_bank_refresh_interval_cycles
+        self._periodic: dict[tuple[int, int], _BankPeriodicState] = {}
+        self._gen_heap: list[tuple[int, int, int]] = []
+        #: Banks that currently hold at least one pending refresh request;
+        #: keeps deadline scans O(active banks) instead of O(all banks).
+        self._active: set[tuple[int, int]] = set()
+        total_banks = config.ranks_per_channel * geom.banks_per_rank
+        index = 0
+        for rank in range(config.ranks_per_channel):
+            for bank in range(geom.banks_per_rank):
+                offset = (index * period / total_banks) if self.stagger else 0.0
+                state = _BankPeriodicState(period=period, next_gen=offset)
+                self._periodic[(rank, bank)] = state
+                heapq.heappush(self._gen_heap, (int(offset), rank, bank))
+                index += 1
+
+    # ------------------------------------------------------------------
+    # Periodic request generation (PeriodicRC, §5.1.1)
+    # ------------------------------------------------------------------
+    def _advance_generation(self, now: int) -> None:
+        heap = self._gen_heap
+        while heap and heap[0][0] <= now:
+            __, rank, bank = heapq.heappop(heap)
+            state = self._periodic[(rank, bank)]
+            state.pending.append(int(state.next_gen))
+            self.mc.stats.periodic_generated += 1
+            state.next_gen += state.period
+            heapq.heappush(heap, (int(state.next_gen), rank, bank))
+            self._active.add((rank, bank))
+
+    def _refresh_active(self, rank: int, bank: int) -> None:
+        """Recompute a bank's membership in the active set."""
+        key = (rank, bank)
+        if self._periodic[key].pending or self.pr[rank].head(bank) is not None:
+            self._active.add(key)
+        else:
+            self._active.discard(key)
+
+    def _periodic_deadline(self, state: _BankPeriodicState) -> int:
+        return state.pending[0] + self.slack_c if state.pending else _FAR_FUTURE
+
+    # ------------------------------------------------------------------
+    # PreventiveRC (§5.1.2)
+    # ------------------------------------------------------------------
+    def on_demand_act(self, req: Request, now: int) -> None:
+        self._para_enqueue(req.addr.rank, req.addr.bank, req.addr.row, now)
+
+    def _para_enqueue(self, rank: int, bank: int, activated_row: int, now: int) -> None:
+        """PARA draw for an observed activation; victims join the PR-FIFO.
+
+        Only demand activations are observed: refresh activations are
+        controller-generated and rate-bounded per row, so they cannot be
+        leveraged by an attacker (and observing them would make the
+        defense's own refreshes feed it).
+        """
+        victim = self.para_observe_act(rank, bank, activated_row, now)
+        if victim is None:
+            return
+        request = PreventiveRequest(row=victim, deadline=now + self.slack_c)
+        if self.pr[rank].push(bank, request):
+            self._active.add((rank, bank))
+        else:
+            # FIFO full: fall back to an immediate blocking refresh, the
+            # behaviour PARA would have had without HiRA-MC.
+            self._queue_preventive(rank, bank, victim, now)
+
+    # ------------------------------------------------------------------
+    # Refresh-access parallelization (Fig. 8, Case 1)
+    # ------------------------------------------------------------------
+    def on_act(self, req: Request, now: int) -> int | None:
+        if self.disable_access_parallelization:
+            return None
+        self._advance_generation(now)
+        rank, bank = req.addr.rank, req.addr.bank
+        sa_demand = self.spt.subarray_of_row(req.addr.row)
+        periodic = self._periodic[(rank, bank)]
+        preventive_head = self.pr[rank].head(bank)
+        periodic_deadline = self._periodic_deadline(periodic)
+        preventive_deadline = preventive_head.deadline if preventive_head else _FAR_FUTURE
+
+        # Try the earliest-deadline request first, then the other kind.
+        order = (
+            ("periodic", "preventive")
+            if periodic_deadline <= preventive_deadline
+            else ("preventive", "periodic")
+        )
+        for kind in order:
+            if kind == "periodic" and periodic.pending:
+                partner = self.spt.partner_subarray((rank, bank), sa_demand)
+                if partner is not None:
+                    periodic.pending.popleft()
+                    self._refresh_active(rank, bank)
+                    return self.refptr[rank].advance(bank, partner)
+            elif kind == "preventive" and preventive_head is not None:
+                sa_victim = self.spt.subarray_of_row(preventive_head.row)
+                if self.spt.isolated(sa_victim, sa_demand):
+                    self.pr[rank].pop(bank)
+                    self._refresh_active(rank, bank)
+                    return preventive_head.row
+        return None
+
+    # ------------------------------------------------------------------
+    # Deadline enforcement (Fig. 8, Case 2)
+    # ------------------------------------------------------------------
+    def urgent(self, now: int) -> bool:
+        if self._service_preventive(now):  # PR-FIFO overflow path
+            return True
+        self._advance_generation(now)
+        mc = self.mc
+        cutoff = now + mc.trc_c
+        for rank, bank_id in list(self._active):
+            periodic = self._periodic[(rank, bank_id)]
+            head = self.pr[rank].head(bank_id)
+            deadline = min(
+                self._periodic_deadline(periodic),
+                head.deadline if head else _FAR_FUTURE,
+            )
+            if deadline > cutoff:
+                continue
+            if not mc.rank_available(rank, now):
+                continue
+            bank = mc.bank(rank, bank_id)
+            if bank.open_row is not None:
+                if now >= bank.next_pre:
+                    mc.issue_pre(rank, bank_id, now)
+                    return True
+                continue
+            if now < bank.next_act or not mc.faw_ok(rank, now):
+                continue
+            if now > deadline + mc.trc_c:
+                mc.stats.deadline_misses += 1
+            self._perform_due_refresh(rank, bank_id, now)
+            return True
+        return False
+
+    def _pop_first_due(self, rank: int, bank_id: int) -> int | None:
+        """Pop the earliest-deadline pending refresh; returns its row."""
+        periodic = self._periodic[(rank, bank_id)]
+        head = self.pr[rank].head(bank_id)
+        periodic_deadline = self._periodic_deadline(periodic)
+        preventive_deadline = head.deadline if head else _FAR_FUTURE
+        if periodic_deadline == _FAR_FUTURE and preventive_deadline == _FAR_FUTURE:
+            return None
+        if preventive_deadline <= periodic_deadline:
+            row = self.pr[rank].pop(bank_id).row
+        else:
+            periodic.pending.popleft()
+            subarray = periodic.sa_ptr % self.spt.geometry.subarrays_per_bank
+            periodic.sa_ptr = subarray + 1
+            row = self.refptr[rank].advance(bank_id, subarray)
+        self._refresh_active(rank, bank_id)
+        return row
+
+    def _pop_partner_for(self, rank: int, bank_id: int, sa_first: int) -> int | None:
+        """A second pending refresh whose subarray is isolated from the first.
+
+        A periodic request can refresh *any* subarray next (the Concurrent
+        Refresh Finder picks one where parallelization is possible,
+        §5.1.3); a preventive request is pinned to its victim row and pairs
+        only if that row's subarray happens to be isolated.
+        """
+        head = self.pr[rank].head(bank_id)
+        if head is not None and self.spt.isolated(
+            self.spt.subarray_of_row(head.row), sa_first
+        ):
+            row = self.pr[rank].pop(bank_id).row
+            self._refresh_active(rank, bank_id)
+            return row
+        periodic = self._periodic[(rank, bank_id)]
+        if periodic.pending:
+            partner = self.spt.partner_subarray((rank, bank_id), sa_first)
+            if partner is not None:
+                periodic.pending.popleft()
+                self._refresh_active(rank, bank_id)
+                return self.refptr[rank].advance(bank_id, partner)
+        return None
+
+    def _perform_due_refresh(self, rank: int, bank_id: int, now: int) -> None:
+        mc = self.mc
+        first = self._pop_first_due(rank, bank_id)
+        if first is None:
+            return
+        # A HiRA pair issues two ACTs: it needs two free tFAW slots (§5.2).
+        if not self.disable_refresh_parallelization and mc.faw_ok_double(rank, now):
+            partner = self._pop_partner_for(
+                rank, bank_id, self.spt.subarray_of_row(first)
+            )
+            if partner is not None:
+                mc.issue_hira_refresh_pair(rank, bank_id, now)
+                return
+        mc.issue_solo_refresh(rank, bank_id, now)
+
+    def _requeue_row(self, rank: int, bank_id: int, row: int, now: int) -> None:
+        """Give a popped-but-unpaired refresh back to its queue."""
+        request = PreventiveRequest(row=row, deadline=now + self.slack_c)
+        if not self.pr[rank].push(bank_id, request):
+            self._queue_preventive(rank, bank_id, row, now)
+
+    # ------------------------------------------------------------------
+    def next_deadline(self, now: int) -> int:
+        self._advance_generation(now)
+        soonest = self._preventive_deadline(now)
+        trc = self.mc.trc_c
+        for rank, bank_id in self._active:
+            periodic = self._periodic[(rank, bank_id)]
+            head = self.pr[rank].head(bank_id)
+            deadline = min(
+                self._periodic_deadline(periodic),
+                head.deadline if head else _FAR_FUTURE,
+            )
+            if deadline != _FAR_FUTURE:
+                soonest = min(soonest, max(deadline - trc, now + 1))
+        if self._gen_heap:
+            soonest = min(soonest, max(self._gen_heap[0][0] + self.slack_c - trc, now + 1))
+        return soonest
+
+    # ------------------------------------------------------------------
+    # Introspection for tests and benchmarks
+    # ------------------------------------------------------------------
+    def pending_periodic(self) -> int:
+        return sum(len(s.pending) for s in self._periodic.values())
+
+    def pending_preventive(self) -> int:
+        return sum(fifo.total_pending() for fifo in self.pr.values())

@@ -1,0 +1,76 @@
+"""The Refresh Table: deadline-tagged refresh requests (§5, component 3).
+
+Each entry stores a deadline, the target bank, and the refresh type
+(periodic or preventive).  §6 sizes it at 68 entries per rank for a
+tRefSlack of 4·tRC (4 periodic per rank + 4 preventive per bank); we keep
+the same sizing rule and evict-to-perform when the table would overflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hira_op import RefreshKind
+
+
+@dataclass(order=True)
+class RefreshTableEntry:
+    """One queued refresh request, ordered by deadline."""
+
+    deadline: int
+    bank: int = field(compare=False)
+    kind: RefreshKind = field(compare=False, default=RefreshKind.PERIODIC)
+    row_hint: int | None = field(compare=False, default=None)
+
+
+class RefreshTable:
+    """Deadline-ordered storage of pending refresh requests for one rank."""
+
+    def __init__(self, capacity: int = 68):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: list[RefreshTableEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def insert(self, entry: RefreshTableEntry) -> bool:
+        """Insert in deadline order; False if the table is full."""
+        if self.full:
+            return False
+        # Linear insertion keeps the list sorted; the table is tiny (≤68).
+        for i, existing in enumerate(self._entries):
+            if entry.deadline < existing.deadline:
+                self._entries.insert(i, entry)
+                break
+        else:
+            self._entries.append(entry)
+        return True
+
+    def earliest(self) -> RefreshTableEntry | None:
+        return self._entries[0] if self._entries else None
+
+    def earliest_for_bank(self, bank: int) -> RefreshTableEntry | None:
+        """Earliest-deadline entry targeting a bank (Fig. 8, step a)."""
+        for entry in self._entries:
+            if entry.bank == bank:
+                return entry
+        return None
+
+    def pop(self, entry: RefreshTableEntry) -> None:
+        self._entries.remove(entry)
+
+    def due_entries(self, cutoff: int) -> list[RefreshTableEntry]:
+        """Entries whose deadline is at or before ``cutoff`` (Fig. 8, step 4)."""
+        return [e for e in self._entries if e.deadline <= cutoff]
+
+    def entries_for_bank(self, bank: int) -> list[RefreshTableEntry]:
+        return [e for e in self._entries if e.bank == bank]
+
+    def __iter__(self):
+        return iter(self._entries)

@@ -1,0 +1,37 @@
+"""DDR4 command, timing, and geometry substrate.
+
+This package models the pieces of the DDRx interface that HiRA builds on:
+
+- :mod:`repro.dram.commands` — the DDR4 command set (ACT/PRE/RD/WR/REF).
+- :mod:`repro.dram.timing` — timing parameters (tRCD/tRAS/tRP/tRC/tRFC/...),
+  the DDR4-2400 preset used throughout the paper, and the tRFC density
+  scaling model of Expression 1.
+- :mod:`repro.dram.geometry` — channel/rank/bank/subarray/row geometry and
+  address containers.
+"""
+
+from repro.dram.commands import Command, CommandKind
+from repro.dram.errors import DramError, GeometryError, TimingViolation
+from repro.dram.geometry import Address, Geometry
+from repro.dram.timing import (
+    DDR4_2400,
+    TimingParams,
+    hira_two_row_refresh_latency_ps,
+    nominal_two_row_refresh_latency_ps,
+    trfc_for_capacity_ns,
+)
+
+__all__ = [
+    "Address",
+    "Command",
+    "CommandKind",
+    "DDR4_2400",
+    "DramError",
+    "Geometry",
+    "GeometryError",
+    "TimingParams",
+    "TimingViolation",
+    "hira_two_row_refresh_latency_ps",
+    "nominal_two_row_refresh_latency_ps",
+    "trfc_for_capacity_ns",
+]

@@ -1,0 +1,19 @@
+"""Exception hierarchy for the DRAM substrate."""
+
+
+class DramError(Exception):
+    """Base class for all DRAM-substrate errors."""
+
+
+class TimingViolation(DramError):
+    """A command was issued in violation of a *mandatory* timing constraint.
+
+    Note that HiRA deliberately violates tRAS/tRP; the chip model accepts
+    such sequences (that is the point of the paper).  This exception is only
+    raised for violations the infrastructure itself forbids, e.g. issuing
+    two commands in the same picosecond slot from the host.
+    """
+
+
+class GeometryError(DramError):
+    """An address or configuration is inconsistent with the DRAM geometry."""

@@ -1,0 +1,29 @@
+"""Drivers for the paper's real-chip experiments (§4).
+
+- :mod:`repro.experiments.modules` — the tested DDR4 modules (Tables 1/4).
+- :mod:`repro.experiments.coverage` — Algorithm 1: HiRA's coverage (§4.2).
+- :mod:`repro.experiments.second_act` — Algorithm 2: verifying HiRA's
+  second row activation via RowHammer thresholds (§4.3).
+- :mod:`repro.experiments.bank_variation` — variation across banks (§4.4).
+"""
+
+from repro.experiments.coverage import algorithm1_coverage, coverage_distribution, tested_row_sample
+from repro.experiments.modules import TESTED_MODULES, TestedModule, build_module_chip
+from repro.experiments.second_act import ThresholdResult, characterize_normalized_nrh
+from repro.experiments.bank_variation import (
+    coverage_identical_across_banks,
+    per_bank_normalized_nrh,
+)
+
+__all__ = [
+    "TESTED_MODULES",
+    "TestedModule",
+    "ThresholdResult",
+    "algorithm1_coverage",
+    "build_module_chip",
+    "characterize_normalized_nrh",
+    "coverage_distribution",
+    "coverage_identical_across_banks",
+    "per_bank_normalized_nrh",
+    "tested_row_sample",
+]

@@ -1,0 +1,128 @@
+"""Algorithm 1: measuring HiRA's coverage (§4.2).
+
+HiRA's coverage for a row is the fraction of other rows in the bank that
+HiRA can activate concurrently with it without corrupting either row's
+data, across all four data patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chip.chip_model import DramChip
+from repro.dram.geometry import Geometry
+from repro.softmc.host import SoftMCHost
+from repro.softmc.patterns import ALL_PATTERNS, DataPattern
+
+
+def tested_row_sample(geometry: Geometry, chunk: int = 2048, stride: int = 1) -> list[int]:
+    """The paper's tested-row sample: first, middle, and last ``chunk`` rows.
+
+    ``stride`` subsamples each chunk evenly — the real experiment tested
+    every row over days of FPGA time; the simulation benches trade that for
+    a uniform subsample (§4 footnote 4 describes the chunking).
+    """
+    rows_per_bank = geometry.rows_per_bank
+    if 3 * chunk > rows_per_bank:
+        chunk = rows_per_bank // 3
+    middle_start = (rows_per_bank - chunk) // 2
+    chunks = (0, middle_start, rows_per_bank - chunk)
+    rows: list[int] = []
+    for start in chunks:
+        rows.extend(range(start, start + chunk, stride))
+    return rows
+
+
+def pair_passes(
+    host: SoftMCHost,
+    bank: int,
+    row_a: int,
+    row_b: int,
+    t1_ps: int,
+    t2_ps: int,
+    patterns: tuple[DataPattern, ...] = ALL_PATTERNS,
+) -> bool:
+    """One Algorithm 1 inner iteration: does HiRA(RowA, RowB) preserve data?
+
+    Initializes the rows with a pattern and its inverse, performs HiRA,
+    closes both rows, and reads them back; the pair fails on any bit flip
+    under any pattern.
+    """
+    for pattern in patterns:
+        host.initialize(bank, row_a, pattern)
+        host.initialize(bank, row_b, pattern.inverse)
+        host.hira(bank, row_a, row_b, t1_ps=t1_ps, t2_ps=t2_ps, close=True)
+        if host.compare_data(pattern, bank, row_a) > 0:
+            return False
+        if host.compare_data(pattern.inverse, bank, row_b) > 0:
+            return False
+    return True
+
+
+def algorithm1_coverage(
+    host: SoftMCHost,
+    bank: int,
+    row_a: int,
+    candidate_rows: list[int],
+    t1_ps: int,
+    t2_ps: int,
+    patterns: tuple[DataPattern, ...] = ALL_PATTERNS,
+) -> float:
+    """HiRA coverage of ``row_a``: fraction of candidates it can pair with."""
+    candidates = [row for row in candidate_rows if row != row_a]
+    if not candidates:
+        return 0.0
+    passed = sum(
+        1
+        for row_b in candidates
+        if pair_passes(host, bank, row_a, row_b, t1_ps, t2_ps, patterns)
+    )
+    return passed / len(candidates)
+
+
+@dataclass(frozen=True, slots=True)
+class CoverageDistribution:
+    """Coverage values across tested rows plus box-whisker summary."""
+
+    t1_ps: int
+    t2_ps: int
+    coverages: tuple[float, ...]
+
+    @property
+    def minimum(self) -> float:
+        return min(self.coverages)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.coverages)
+
+    @property
+    def average(self) -> float:
+        return sum(self.coverages) / len(self.coverages)
+
+
+def coverage_distribution(
+    chip: DramChip,
+    bank: int,
+    t1_ps: int,
+    t2_ps: int,
+    tested_rows: list[int] | None = None,
+    rows_a: list[int] | None = None,
+    patterns: tuple[DataPattern, ...] = ALL_PATTERNS,
+) -> CoverageDistribution:
+    """Coverage across tested rows for one (t1, t2) configuration.
+
+    ``tested_rows`` is both the RowA population and the RowB candidate set
+    (as in the paper); ``rows_a`` optionally restricts which RowAs are
+    measured (for subsampled benches).
+    """
+    host = SoftMCHost(chip)
+    if tested_rows is None:
+        tested_rows = tested_row_sample(chip.geometry)
+    if rows_a is None:
+        rows_a = tested_rows
+    coverages = tuple(
+        algorithm1_coverage(host, bank, row_a, tested_rows, t1_ps, t2_ps, patterns)
+        for row_a in rows_a
+    )
+    return CoverageDistribution(t1_ps=t1_ps, t2_ps=t2_ps, coverages=coverages)

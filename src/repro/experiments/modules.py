@@ -1,0 +1,97 @@
+"""The tested DDR4 modules of Tables 1 and 4.
+
+Each entry carries the paper's module metadata plus the calibration target
+for the module's HiRA coverage (Table 4's per-module average).  The designs
+are all SK Hynix-like — the only vendor class on which HiRA works (§12) —
+and the comparison designs :data:`SAMSUNG_LIKE_MODULE` /
+:data:`MICRON_LIKE_MODULE` model the 40+40 chips from the other two
+manufacturers on which no successful HiRA operation was observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chip.chip_model import DramChip
+from repro.chip.design import ChipDesign, make_design
+from repro.chip.vendor import VendorClass
+from repro.dram.timing import DDR4_2400, TimingParams
+
+
+@dataclass(frozen=True)
+class TestedModule:
+    """Metadata and calibration targets for one tested DDR4 module."""
+
+    label: str
+    module_vendor: str
+    chip_identifier: str
+    module_identifier: str
+    freq_mts: int
+    date_code: str
+    chip_capacity_gbit: int
+    die_rev: str
+    chip_org: str
+    target_coverage: float
+    expected_norm_nrh: float
+    design_seed: int
+    chip_seed: int
+
+    @property
+    def subarrays_per_bank(self) -> int:
+        """1 KiB rows, 16 banks, 512-row subarrays → 64 SAs per 4 Gbit."""
+        return 16 * self.chip_capacity_gbit
+
+    def build_design(self, vendor: VendorClass = VendorClass.HYNIX_LIKE) -> ChipDesign:
+        return make_design(
+            name=f"{self.label} ({self.chip_identifier})",
+            vendor=vendor,
+            target_coverage=self.target_coverage,
+            design_seed=self.design_seed,
+            subarrays_per_bank=self.subarrays_per_bank,
+            rows_per_subarray=512,
+        )
+
+
+def build_module_chip(module: TestedModule, timing: TimingParams = DDR4_2400) -> DramChip:
+    """Instantiate the module's chip model."""
+    return DramChip(module.build_design(), timing=timing, chip_seed=module.chip_seed)
+
+
+# Table 4 per-module average HiRA coverage and normalized-NRH targets.
+TESTED_MODULES: tuple[TestedModule, ...] = (
+    TestedModule("A0", "G.SKILL", "DWCW (partial marking)", "F4-2400C17S-8GNT",
+                 2400, "42-20", 4, "B", "x8", 0.250, 1.90, design_seed=0xA0, chip_seed=10),
+    TestedModule("A1", "G.SKILL", "DWCW (partial marking)", "F4-2400C17S-8GNT",
+                 2400, "42-20", 4, "B", "x8", 0.266, 1.94, design_seed=0xA0, chip_seed=11),
+    TestedModule("B0", "Kingston", "H5AN8G8NDJR-XNC", "KSM32RD8/16HDR",
+                 2400, "48-20", 8, "D", "x8", 0.326, 1.89, design_seed=0xB0, chip_seed=20),
+    TestedModule("B1", "Kingston", "H5AN8G8NDJR-XNC", "KSM32RD8/16HDR",
+                 2400, "48-20", 8, "D", "x8", 0.316, 1.91, design_seed=0xB0, chip_seed=21),
+    TestedModule("C0", "SK Hynix", "H5ANAG8NAJR-XN", "HMAA4GU6AJR8N-XN",
+                 2400, "51-20", 4, "F", "x8", 0.353, 1.89, design_seed=0xC0, chip_seed=30),
+    TestedModule("C1", "SK Hynix", "H5ANAG8NAJR-XN", "HMAA4GU6AJR8N-XN",
+                 2400, "51-20", 4, "F", "x8", 0.384, 1.88, design_seed=0xC0, chip_seed=31),
+    TestedModule("C2", "SK Hynix", "H5ANAG8NAJR-XN", "HMAA4GU6AJR8N-XN",
+                 2400, "51-20", 4, "F", "x8", 0.361, 1.96, design_seed=0xC0, chip_seed=32),
+)
+
+#: Designs on which no successful HiRA operation is observed (§12).
+SAMSUNG_LIKE_MODULE = TestedModule(
+    "S0", "Samsung-like", "synthetic", "synthetic", 2400, "00-21", 4, "-", "x8",
+    0.32, 1.0, design_seed=0x50, chip_seed=40,
+)
+MICRON_LIKE_MODULE = TestedModule(
+    "M0", "Micron-like", "synthetic", "synthetic", 2400, "00-21", 4, "-", "x8",
+    0.32, 1.0, design_seed=0x60, chip_seed=50,
+)
+
+
+def build_non_hira_chip(kind: VendorClass, timing: TimingParams = DDR4_2400) -> DramChip:
+    """A chip of a vendor class that ignores HiRA's violating commands."""
+    if kind is VendorClass.SAMSUNG_LIKE:
+        module = SAMSUNG_LIKE_MODULE
+    elif kind is VendorClass.MICRON_LIKE:
+        module = MICRON_LIKE_MODULE
+    else:
+        raise ValueError("use build_module_chip for HiRA-capable designs")
+    return DramChip(module.build_design(vendor=kind), timing=timing, chip_seed=module.chip_seed)

@@ -1,0 +1,18 @@
+"""Hardware complexity model for HiRA-MC's SRAM structures (§6, Table 2)."""
+
+from repro.hwcost.sram_model import SramArray, SramEstimate
+from repro.hwcost.report import (
+    HIRA_MC_COMPONENTS,
+    component_estimates,
+    overall_area_mm2,
+    worst_case_query_latency_ns,
+)
+
+__all__ = [
+    "HIRA_MC_COMPONENTS",
+    "SramArray",
+    "SramEstimate",
+    "component_estimates",
+    "overall_area_mm2",
+    "worst_case_query_latency_ns",
+]

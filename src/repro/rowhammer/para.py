@@ -1,0 +1,76 @@
+"""PARA: Probabilistic Row Activation [84], as employed by PreventiveRC.
+
+PARA is stateless: on every row activation it decides, with probability
+``pth``, to preventively refresh one of the two neighbours of the activated
+row (each side with ``pth/2``).  §9 argues PARA is the most
+hardware-scalable preventive-refresh defense; §9.1 revisits how ``pth``
+must be configured, including the extra aggressiveness needed when
+refreshes may be queued for ``tRefSlack`` (HiRA-MC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rowhammer.security import DEFAULT_TARGET, n_ref_slack_for, solve_pth
+
+
+@dataclass
+class Para:
+    """A configured PARA instance.
+
+    Attributes:
+        pth: Probability of generating a preventive refresh per activation.
+        rng: Random source for the Bernoulli/side draws (seeded for
+            reproducible simulations).
+    """
+
+    pth: float
+    rng: np.random.Generator
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.pth <= 1.0:
+            raise ValueError("pth must be in [0, 1]")
+
+    @classmethod
+    def configured_for(
+        cls,
+        nrh: float,
+        tref_slack_ns: float = 0.0,
+        target: float = DEFAULT_TARGET,
+        seed: int = 0,
+        trc_ns: float = 46.25,
+    ) -> "Para":
+        """Build a PARA whose pth meets the reliability target (§9.1).
+
+        ``tref_slack_ns`` accounts for HiRA-MC's queueing delay: the
+        defense triggers earlier so that the attacker's extra activations
+        during the slack cannot push the hammer count past the threshold
+        (Expressions 7–8).
+        """
+        pth = solve_pth(
+            nrh=nrh,
+            n_ref_slack=n_ref_slack_for(tref_slack_ns, trc_ns),
+            target=target,
+            trc_ns=trc_ns,
+        )
+        return cls(pth=pth, rng=np.random.default_rng(seed))
+
+    def preventive_refresh_target(
+        self, activated_row: int, rows_in_bank: int, bank_key=None
+    ) -> int | None:
+        """Neighbour row to preventively refresh, or None.
+
+        Returns the victim row chosen (row ± 1, clamped to the bank) when
+        the Bernoulli draw fires.  ``bank_key`` exists for interface parity
+        with stateful defenses (PARA is stateless and ignores it).
+        """
+        if self.rng.random() >= self.pth:
+            return None
+        side = 1 if self.rng.random() < 0.5 else -1
+        victim = activated_row + side
+        if victim < 0 or victim >= rows_in_bank:
+            victim = activated_row - side
+        return victim

@@ -1,0 +1,106 @@
+"""Algorithm 2 and binary-search RowHammer-threshold measurement (§4.3).
+
+The experiment hammers a victim's two physically adjacent rows
+(double-sided), optionally refreshing the victim halfway through with a
+HiRA operation whose *second* activation targets the victim.  If the chip
+performs the second activation, the measured RowHammer threshold roughly
+doubles; if the chip ignores it (Samsung-/Micron-like designs), the
+threshold is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.softmc.host import SoftMCHost
+from repro.softmc.patterns import DataPattern
+
+
+@dataclass(frozen=True, slots=True)
+class HammerTestConfig:
+    """Parameters of one Algorithm 2 run."""
+
+    bank: int
+    victim: int
+    aggressors: tuple[int, int]
+    dummy_row: int
+    pattern: DataPattern = DataPattern.ALL_ONES
+    t1_ps: int | None = None
+    t2_ps: int | None = None
+
+
+def run_hammer_test(host: SoftMCHost, config: HammerTestConfig, hammer_count: int, with_hira: bool) -> bool:
+    """One Algorithm 2 iteration; returns True if the victim flipped.
+
+    Steps (paper Algorithm 2): initialize the four rows; hammer each
+    aggressor HC/2 times; either perform HiRA (dummy → victim) or wait the
+    equivalent time; hammer HC/2 more; check the victim.
+    """
+    bank = config.bank
+    tp = host.chip.timing
+    host.initialize(bank, config.victim, config.pattern)
+    host.initialize(bank, config.dummy_row, config.pattern.inverse)
+    for aggressor in config.aggressors:
+        host.initialize(bank, aggressor, config.pattern.inverse)
+
+    first_half = hammer_count // 2
+    second_half = hammer_count - first_half
+    host.hammer(bank, list(config.aggressors), first_half)
+
+    if with_hira:
+        host.hira(
+            bank,
+            config.dummy_row,
+            config.victim,
+            t1_ps=config.t1_ps,
+            t2_ps=config.t2_ps,
+            close=True,
+        )
+    else:
+        t1 = tp.hira_t1 if config.t1_ps is None else config.t1_ps
+        t2 = tp.hira_t2 if config.t2_ps is None else config.t2_ps
+        host.advance(t1 + t2 + tp.tras + tp.trp)
+
+    host.hammer(bank, list(config.aggressors), second_half)
+    return host.compare_data(config.pattern, bank, config.victim) > 0
+
+
+def measure_threshold(
+    host: SoftMCHost,
+    config: HammerTestConfig,
+    with_hira: bool,
+    lo: int = 1_000,
+    hi: int = 400_000,
+    resolution: int = 256,
+) -> int:
+    """Minimum hammer count that flips the victim, via binary search.
+
+    Mirrors the methodology of prior work [79, 129, 180]: bisect on the
+    hammer count until the bracket is narrower than ``resolution``.
+    Returns ``hi`` if even ``hi`` hammers cause no flip.
+    """
+    if not run_hammer_test(host, config, hi, with_hira):
+        return hi
+    if run_hammer_test(host, config, lo, with_hira):
+        return lo
+    low, high = lo, hi
+    while high - low > resolution:
+        mid = (low + high) // 2
+        if run_hammer_test(host, config, mid, with_hira):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def normalized_threshold(
+    host: SoftMCHost,
+    config: HammerTestConfig,
+    lo: int = 1_000,
+    hi: int = 400_000,
+    resolution: int = 256,
+) -> tuple[int, int, float]:
+    """(threshold without HiRA, with HiRA, ratio) for one victim row."""
+    without = measure_threshold(host, config, with_hira=False, lo=lo, hi=hi, resolution=resolution)
+    with_h = measure_threshold(host, config, with_hira=True, lo=lo, hi=hi, resolution=resolution)
+    return without, with_h, with_h / without

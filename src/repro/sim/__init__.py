@@ -1,0 +1,33 @@
+"""Cycle-level DRAM system simulator (the paper's Ramulator substrate, §7).
+
+Event-driven, in integer memory-bus clock cycles (DDR4-2400: 0.833 ns).
+Cores are trace-driven with a finite instruction window; the memory
+controller implements FR-FCFS scheduling with the open-row policy, MOP
+address mapping, DDR4 bank/rank timing (tRC/tRCD/tRP/tRAS/tFAW/tRFC/tREFI),
+a shared per-channel command bus, and pluggable refresh engines (baseline
+rank-level REF vs. HiRA-MC).
+"""
+
+from repro.sim.addressing import AddressMapper
+from repro.sim.config import SystemConfig
+from repro.sim.controller import BaselineRefreshEngine, MemoryController, NoRefreshEngine
+from repro.sim.core import CoreModel
+from repro.sim.metrics import weighted_speedup
+from repro.sim.request import Request
+from repro.sim.system import SimResult, System
+from repro.sim.trace import TraceProfile, TraceGenerator
+
+__all__ = [
+    "AddressMapper",
+    "BaselineRefreshEngine",
+    "CoreModel",
+    "MemoryController",
+    "NoRefreshEngine",
+    "Request",
+    "SimResult",
+    "System",
+    "SystemConfig",
+    "TraceGenerator",
+    "TraceProfile",
+    "weighted_speedup",
+]

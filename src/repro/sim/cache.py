@@ -1,0 +1,79 @@
+"""A functional set-associative last-level cache.
+
+The performance simulator consumes LLC-miss traces directly (the standard
+Ramulator methodology, see DESIGN.md); this cache exists to *derive* miss
+streams from raw access streams and for unit/property testing of the
+LRU/writeback invariants the derivation relies on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """Geometry of the cache (paper Table 3: 8 MiB, 8-way, 64 B lines)."""
+
+    size_bytes: int = 8 * 1024 * 1024
+    ways: int = 8
+    line_bytes: int = 64
+
+    @property
+    def sets(self) -> int:
+        sets = self.size_bytes // (self.ways * self.line_bytes)
+        if sets < 1:
+            raise ValueError("cache too small for its associativity")
+        return sets
+
+
+class Cache:
+    """LRU set-associative cache over flat line addresses.
+
+    ``access`` returns the list of memory-side transactions the access
+    produced: an optional dirty writeback and an optional line fill.
+    """
+
+    def __init__(self, config: CacheConfig | None = None):
+        self.config = config or CacheConfig()
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for __ in range(self.config.sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _set_of(self, line: int) -> OrderedDict[int, bool]:
+        return self._sets[line % self.config.sets]
+
+    def access(self, line: int, is_write: bool) -> list[tuple[int, bool]]:
+        """Access a line; returns [(line, is_write_to_memory), ...].
+
+        A hit returns no transactions.  A miss returns a fill read, plus a
+        dirty-victim writeback when an eviction is needed.
+        """
+        cache_set = self._set_of(line)
+        if line in cache_set:
+            self.hits += 1
+            dirty = cache_set.pop(line)
+            cache_set[line] = dirty or is_write
+            return []
+        self.misses += 1
+        transactions: list[tuple[int, bool]] = []
+        if len(cache_set) >= self.config.ways:
+            victim, dirty = cache_set.popitem(last=False)
+            if dirty:
+                self.writebacks += 1
+                transactions.append((victim, True))
+        cache_set[line] = is_write
+        transactions.append((line, False))
+        return transactions
+
+    def contains(self, line: int) -> bool:
+        return line in self._set_of(line)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,486 @@
+"""The per-channel memory controller: FR-FCFS, open-row policy, refresh.
+
+One controller owns one channel's command bus, data bus, and bank/rank
+timing state.  Refresh behaviour is pluggable through a
+:class:`RefreshEngine`; the baseline issues rank-level REF commands every
+tREFI (blocking the rank for tRFC), while HiRA-MC (in :mod:`repro.core`)
+replaces them with HiRA operations scheduled around demand accesses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.sim.config import SystemConfig
+from repro.sim.request import Request
+
+_FAR_FUTURE = 1 << 60
+
+
+@dataclass
+class _BankState:
+    open_row: int | None = None
+    next_act: int = 0
+    next_pre: int = 0
+    next_rdwr: int = 0
+
+
+@dataclass
+class _RankState:
+    faw: deque = field(default_factory=deque)
+    ref_due: int = 0
+    busy_until: int = 0
+
+
+@dataclass
+class ControllerStats:
+    """Per-channel event counters."""
+
+    reads_served: int = 0
+    writes_served: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    acts: int = 0
+    pres: int = 0
+    refs: int = 0
+    solo_refreshes: int = 0
+    hira_access_parallelized: int = 0
+    hira_refresh_parallelized: int = 0
+    preventive_generated: int = 0
+    periodic_generated: int = 0
+    deadline_misses: int = 0
+    queue_full_rejections: int = 0
+
+
+class RefreshEngine:
+    """Interface between the controller and a refresh policy.
+
+    The base class carries the PARA preventive-refresh plumbing shared by
+    all engines: when ``para`` is set, every demand activation may generate
+    a preventive refresh for a neighbouring victim row.  Without HiRA the
+    preventive refresh is performed as a blocking nominal ACT+PRE as soon
+    as the bank allows (the original PARA behaviour [84]); HiRA-MC
+    overrides :meth:`on_demand_act` to queue it with a deadline instead.
+    """
+
+    def __init__(self) -> None:
+        self.para = None
+        self._preventive: deque = deque()
+
+    def attach(self, mc: "MemoryController") -> None:
+        self.mc = mc
+
+    # -- PARA ------------------------------------------------------------
+    def para_observe_act(self, rank: int, bank_id: int, row: int, now: int) -> int | None:
+        """PARA's Bernoulli draw for one observed activation.
+
+        Applies to demand row activations (the attacker-controllable
+        ones).  At low RowHammer thresholds the resulting preventive
+        refreshes destroy row-buffer locality — each one closes the open
+        row — which multiplies the demand activation count itself and
+        compounds PARA's overhead (§9.2's 96% regime).
+        """
+        if self.para is None:
+            return None
+        victim = self.para.preventive_refresh_target(
+            row, self.mc.config.rows_per_bank, bank_key=(rank, bank_id)
+        )
+        if victim is not None:
+            self.mc.stats.preventive_generated += 1
+        return victim
+
+    def on_demand_act(self, req: Request, now: int) -> None:
+        """Called after a demand ACT is issued (PARA's observation point)."""
+        victim = self.para_observe_act(req.addr.rank, req.addr.bank, req.addr.row, now)
+        if victim is not None:
+            self._queue_preventive(req.addr.rank, req.addr.bank, victim, now)
+
+    def _queue_preventive(self, rank: int, bank_id: int, row: int, now: int) -> None:
+        self._preventive.append((rank, bank_id, row))
+
+    def _service_preventive(self, now: int) -> bool:
+        """Perform the oldest feasible queued preventive refresh."""
+        mc = self.mc
+        for i, (rank, bank_id, row) in enumerate(self._preventive):
+            if not mc.rank_available(rank, now):
+                continue
+            bank = mc.bank(rank, bank_id)
+            if bank.open_row is not None:
+                if now >= bank.next_pre:
+                    mc.issue_pre(rank, bank_id, now)
+                    return True
+                continue
+            if now >= bank.next_act and mc.faw_ok(rank, now):
+                del self._preventive[i]
+                mc.issue_solo_refresh(rank, bank_id, now)
+                return True
+        return False
+
+    def _preventive_deadline(self, now: int) -> int:
+        if not self._preventive:
+            return _FAR_FUTURE
+        mc = self.mc
+        soonest = _FAR_FUTURE
+        for rank, bank_id, __ in self._preventive:
+            bank = mc.bank(rank, bank_id)
+            gate = bank.next_pre if bank.open_row is not None else bank.next_act
+            gate = max(gate, mc.ranks[rank].busy_until)
+            soonest = min(soonest, gate)
+        return max(soonest, now + 1) if soonest != _FAR_FUTURE else _FAR_FUTURE
+
+    # -- Policy hooks ------------------------------------------------------
+    def urgent(self, now: int) -> bool:
+        """Issue due refresh work; returns True if a command was issued."""
+        return self._service_preventive(now)
+
+    def next_deadline(self, now: int) -> int:
+        """Next cycle at which the engine wants the bus."""
+        return self._preventive_deadline(now)
+
+    def on_act(self, req: Request, now: int) -> int | None:
+        """Refresh-access hook: row to refresh with a HiRA ACT, or None."""
+        return None
+
+
+class NoRefreshEngine(RefreshEngine):
+    """The ideal No-Refresh system of Fig. 9a (still honours PARA if set)."""
+
+
+class BaselineRefreshEngine(RefreshEngine):
+    """Rank-level REF every tREFI, blocking the rank for tRFC (§2.3)."""
+
+    def attach(self, mc: "MemoryController") -> None:
+        super().attach(mc)
+        trefi = mc.trefi_c
+        for i, rank in enumerate(mc.ranks):
+            # Stagger REF across ranks so they do not collide on the bus.
+            rank.ref_due = trefi + (i * trefi) // max(1, len(mc.ranks))
+
+    def urgent(self, now: int) -> bool:
+        if self._service_preventive(now):
+            return True
+        mc = self.mc
+        for rank_id, rank in enumerate(mc.ranks):
+            if now < rank.ref_due or now < rank.busy_until:
+                continue
+            # All banks must be precharged before REF.
+            open_bank = mc.first_open_bank(rank_id)
+            if open_bank is not None:
+                bank = mc.bank(rank_id, open_bank)
+                if now >= bank.next_pre:
+                    mc.issue_pre(rank_id, open_bank, now)
+                    return True
+                continue
+            mc.issue_ref(rank_id, now)
+            rank.ref_due += mc.trefi_c
+            return True
+        return False
+
+    def next_deadline(self, now: int) -> int:
+        ref = min((rank.ref_due for rank in self.mc.ranks), default=_FAR_FUTURE)
+        return min(ref, self._preventive_deadline(now))
+
+
+class MemoryController:
+    """One channel's scheduler and timing state."""
+
+    def __init__(self, channel_id: int, config: SystemConfig, engine: RefreshEngine):
+        self.channel_id = channel_id
+        self.config = config
+        tp = config.timing
+        c = config.cycles
+        self.trcd_c = c(tp.trcd)
+        self.tras_c = c(tp.tras)
+        self.trp_c = c(tp.trp)
+        self.trc_c = c(tp.trc)
+        self.trfc_c = c(tp.trfc)
+        self.trefi_c = c(tp.trefi)
+        self.tcl_c = c(tp.tcl)
+        self.tbl_c = c(tp.tbl)
+        self.tfaw_c = c(tp.tfaw)
+        self.hira_gap_c = c(tp.hira_t1 + tp.hira_t2)
+
+        geom = config.geometry
+        self.banks_per_rank = geom.banks_per_rank
+        self.ranks = [_RankState() for __ in range(config.ranks_per_channel)]
+        self._banks = [
+            [_BankState() for __ in range(self.banks_per_rank)]
+            for __ in range(config.ranks_per_channel)
+        ]
+        self.read_q: list[Request] = []
+        self.write_q: list[Request] = []
+        self.bus_next = 0
+        self.data_bus_next = 0
+        self._draining_writes = False
+        #: Deferred single commands (e.g. the PRE closing a refresh-refresh
+        #: HiRA pair) as (cycle, rank, bank) bus reservations.
+        self._scheduled_closes: list[tuple[int, int, int]] = []
+        self.stats = ControllerStats()
+        self.completions: list[tuple[int, Request]] = []
+        self.engine = engine
+        engine.attach(self)
+
+    # ------------------------------------------------------------------
+    # State access helpers (also used by refresh engines)
+    # ------------------------------------------------------------------
+    def bank(self, rank: int, bank: int) -> _BankState:
+        return self._banks[rank][bank]
+
+    def first_open_bank(self, rank: int) -> int | None:
+        for bank_id, bank in enumerate(self._banks[rank]):
+            if bank.open_row is not None:
+                return bank_id
+        return None
+
+    def rank_available(self, rank: int, now: int) -> bool:
+        return now >= self.ranks[rank].busy_until
+
+    def faw_ok(self, rank: int, now: int) -> bool:
+        faw = self.ranks[rank].faw
+        return len(faw) < 4 or now - faw[0] >= self.tfaw_c
+
+    def faw_ok_double(self, rank: int, now: int) -> bool:
+        """Room for *two* activations in the four-activation window.
+
+        A HiRA operation issues two ACTs within t1 + t2 (§5.2 counts both
+        against tFAW), so replacing a demand ACT with a HiRA sequence is
+        only legal when two window slots are free.  This also makes the
+        Concurrent Refresh Finder naturally back off from refresh-access
+        parallelization in activation-bound phases.
+        """
+        faw = self.ranks[rank].faw
+        recent = sum(1 for t in faw if now - t < self.tfaw_c)
+        return recent <= 2
+
+    def faw_next(self, rank: int) -> int:
+        faw = self.ranks[rank].faw
+        return faw[0] + self.tfaw_c if len(faw) >= 4 else 0
+
+    def _record_act(self, rank: int, now: int) -> None:
+        faw = self.ranks[rank].faw
+        faw.append(now)
+        while len(faw) > 4:
+            faw.popleft()
+
+    # ------------------------------------------------------------------
+    # Command issue primitives
+    # ------------------------------------------------------------------
+    def issue_pre(self, rank: int, bank_id: int, now: int) -> None:
+        bank = self.bank(rank, bank_id)
+        bank.open_row = None
+        bank.next_act = max(bank.next_act, now + self.trp_c)
+        self.bus_next = now + 1
+        self.stats.pres += 1
+
+    def issue_act(self, rank: int, bank_id: int, row: int, now: int) -> None:
+        bank = self.bank(rank, bank_id)
+        bank.open_row = row
+        bank.next_rdwr = now + self.trcd_c
+        bank.next_pre = now + self.tras_c
+        bank.next_act = now + self.trc_c
+        self._record_act(rank, now)
+        self.bus_next = now + 1
+        self.stats.acts += 1
+        self.stats.row_misses += 1
+
+    def issue_hira_act(self, rank: int, bank_id: int, refresh_row: int, target_row: int, now: int) -> None:
+        """ACT(refresh_row), PRE, ACT(target_row): refresh-access HiRA.
+
+        The target row's activation effectively starts t1+t2 later; the
+        refresh row's charge restoration overlaps it entirely (§3).  The
+        sequence occupies the command bus for its full t1+t2 span.
+        """
+        bank = self.bank(rank, bank_id)
+        eff = now + self.hira_gap_c
+        bank.open_row = target_row
+        bank.next_rdwr = eff + self.trcd_c
+        bank.next_pre = eff + self.tras_c
+        bank.next_act = eff + self.trc_c
+        self._record_act(rank, now)
+        self._record_act(rank, eff)
+        # Three commands (ACT, PRE, ACT) occupy three bus slots; the bus is
+        # free between them for other banks.
+        self.bus_next = now + 3
+        self.stats.acts += 2
+        self.stats.pres += 1
+        self.stats.hira_access_parallelized += 1
+
+    def issue_hira_refresh_pair(self, rank: int, bank_id: int, now: int) -> None:
+        """Refresh two rows with one HiRA operation (refresh-refresh).
+
+        Bank is busy for t1 + t2 + tRAS + tRP (38 + 14.25 ns at defaults);
+        the closing PRE consumes a deferred bus slot.
+        """
+        bank = self.bank(rank, bank_id)
+        close = now + self.hira_gap_c + self.tras_c
+        bank.open_row = None
+        bank.next_act = close + self.trp_c
+        bank.next_pre = close
+        self._record_act(rank, now)
+        self._record_act(rank, now + self.hira_gap_c)
+        self.bus_next = now + 3
+        self._scheduled_closes.append((close, rank, bank_id))
+        self.stats.acts += 2
+        self.stats.pres += 2
+        self.stats.hira_refresh_parallelized += 1
+
+    def issue_solo_refresh(self, rank: int, bank_id: int, now: int) -> None:
+        """Refresh one row with a nominal ACT + PRE pair."""
+        bank = self.bank(rank, bank_id)
+        close = now + self.tras_c
+        bank.open_row = None
+        bank.next_act = close + self.trp_c
+        bank.next_pre = close
+        self._record_act(rank, now)
+        self.bus_next = now + 1
+        self._scheduled_closes.append((close, rank, bank_id))
+        self.stats.acts += 1
+        self.stats.pres += 1
+        self.stats.solo_refreshes += 1
+
+    def issue_ref(self, rank_id: int, now: int) -> None:
+        """Rank-level REF: the whole rank is unavailable for tRFC."""
+        rank = self.ranks[rank_id]
+        rank.busy_until = now + self.trfc_c
+        for bank in self._banks[rank_id]:
+            bank.open_row = None
+            bank.next_act = max(bank.next_act, now + self.trfc_c)
+        self.bus_next = now + 1
+        self.stats.refs += 1
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def enqueue(self, req: Request) -> bool:
+        queue = self.write_q if req.is_write else self.read_q
+        depth = (
+            self.config.write_queue_depth if req.is_write else self.config.read_queue_depth
+        )
+        if len(queue) >= depth:
+            self.stats.queue_full_rejections += 1
+            return False
+        queue.append(req)
+        return True
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _active_queues(self) -> list[list[Request]]:
+        if self._draining_writes:
+            if len(self.write_q) <= self.config.write_drain_low:
+                self._draining_writes = False
+        elif len(self.write_q) >= self.config.write_drain_high or (
+            not self.read_q and self.write_q
+        ):
+            self._draining_writes = True
+        if self._draining_writes:
+            return [self.write_q, self.read_q]
+        return [self.read_q, self.write_q]
+
+    def schedule(self, now: int) -> bool:
+        """Try to issue one command at cycle ``now``; True if issued."""
+        if now < self.bus_next:
+            return False
+        # Deferred closing PREs of refresh operations take precedence.
+        for i, (cycle, rank, bank_id) in enumerate(self._scheduled_closes):
+            if cycle <= now:
+                self._scheduled_closes.pop(i)
+                self.bus_next = now + 1
+                return True
+        if self.engine.urgent(now):
+            return True
+        for queue in self._active_queues():
+            if self._schedule_queue(queue, now):
+                return True
+        return False
+
+    def _schedule_queue(self, queue: list[Request], now: int) -> bool:
+        if not queue:
+            return False
+        # First pass: FR — oldest ready row hit.
+        for idx, req in enumerate(queue):
+            rank, bank_id = req.addr.rank, req.addr.bank
+            bank = self.bank(rank, bank_id)
+            if (
+                bank.open_row == req.addr.row
+                and now >= bank.next_rdwr
+                and self.rank_available(rank, now)
+                and (req.is_write or now + self.tcl_c >= self.data_bus_next)
+            ):
+                self._issue_column_access(queue, idx, now)
+                return True
+        # Second pass: FCFS — advance the oldest request's bank state.
+        for req in queue:
+            rank, bank_id = req.addr.rank, req.addr.bank
+            if not self.rank_available(rank, now):
+                continue
+            bank = self.bank(rank, bank_id)
+            if bank.open_row is None:
+                if now >= bank.next_act and self.faw_ok(rank, now):
+                    refresh_row = None
+                    if self.faw_ok_double(rank, now):
+                        refresh_row = self.engine.on_act(req, now)
+                    if refresh_row is not None:
+                        self.issue_hira_act(rank, bank_id, refresh_row, req.addr.row, now)
+                    else:
+                        self.issue_act(rank, bank_id, req.addr.row, now)
+                    self.engine.on_demand_act(req, now)
+                    return True
+            elif bank.open_row != req.addr.row:
+                if now >= bank.next_pre and not self._row_hit_waiting(queue, rank, bank_id, bank.open_row):
+                    self.issue_pre(rank, bank_id, now)
+                    return True
+            # Oldest-first: only consider strictly older requests' banks;
+            # but allowing younger requests to different banks improves
+            # bank-level parallelism (standard FR-FCFS behaviour).
+        return False
+
+    def _row_hit_waiting(self, queue: list[Request], rank: int, bank_id: int, row: int) -> bool:
+        """Whether a queued request still targets the open row (keep it open)."""
+        for req in queue:
+            if req.addr.rank == rank and req.addr.bank == bank_id and req.addr.row == row:
+                return True
+        return False
+
+    def _issue_column_access(self, queue: list[Request], idx: int, now: int) -> None:
+        req = queue.pop(idx)
+        rank, bank_id = req.addr.rank, req.addr.bank
+        bank = self.bank(rank, bank_id)
+        self.bus_next = now + 1
+        if req.is_write:
+            bank.next_pre = max(bank.next_pre, now + self.tbl_c + 4)
+            req.complete_cycle = now + self.tcl_c + self.tbl_c
+            self.stats.writes_served += 1
+        else:
+            start = max(now + self.tcl_c, self.data_bus_next)
+            self.data_bus_next = start + self.tbl_c
+            bank.next_pre = max(bank.next_pre, now + self.tbl_c)
+            req.complete_cycle = start + self.tbl_c
+            self.stats.reads_served += 1
+            self.completions.append((req.complete_cycle, req))
+        self.stats.row_hits += 1
+
+    # ------------------------------------------------------------------
+    def next_event(self, now: int) -> int:
+        """Earliest future cycle at which scheduling could make progress."""
+        candidates = [self.bus_next]
+        candidates.extend(cycle for cycle, __, __ in self._scheduled_closes)
+        candidates.append(self.engine.next_deadline(now))
+        for queue in (self.read_q, self.write_q):
+            for req in queue[:8]:
+                rank, bank_id = req.addr.rank, req.addr.bank
+                bank = self.bank(rank, bank_id)
+                candidates.append(self.ranks[rank].busy_until)
+                if bank.open_row == req.addr.row:
+                    candidates.append(bank.next_rdwr)
+                elif bank.open_row is None:
+                    candidates.append(max(bank.next_act, self.faw_next(rank)))
+                else:
+                    candidates.append(bank.next_pre)
+        future = [c for c in candidates if c > now]
+        return min(future) if future else now + 1
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self.read_q) + len(self.write_q)

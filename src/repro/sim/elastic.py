@@ -1,0 +1,75 @@
+"""Elastic refresh: a scheduling-only baseline from the related work.
+
+§13 contrasts HiRA with memory-access-scheduling techniques [161] that
+delay REF commands into DRAM idle time: DDR4 allows postponing up to eight
+REF commands (the 9 × tREFI debit limit).  This engine implements that
+policy so benchmarks can compare HiRA against the strongest scheduling-only
+baseline: REF is deferred while demand requests are pending, but never
+beyond the postponement budget.
+"""
+
+from __future__ import annotations
+
+from repro.sim.controller import BaselineRefreshEngine, _FAR_FUTURE
+
+
+class ElasticRefreshEngine(BaselineRefreshEngine):
+    """Defer REF into idle time, within DDR4's 8-REF postponement budget."""
+
+    def __init__(self, max_postponed: int = 8):
+        super().__init__()
+        if max_postponed < 0:
+            raise ValueError("max_postponed must be non-negative")
+        self.max_postponed = max_postponed
+        self._debt: list[int] = []
+
+    def attach(self, mc) -> None:
+        super().attach(mc)
+        self._debt = [0] * len(mc.ranks)
+
+    def _rank_must_refresh(self, rank_id: int, now: int) -> bool:
+        rank = self.mc.ranks[rank_id]
+        if now < rank.ref_due:
+            return False
+        overdue = (now - rank.ref_due) // self.mc.trefi_c
+        if self._debt[rank_id] + overdue >= self.max_postponed:
+            return True
+        # Only refresh early when the channel has no demand work queued.
+        return self.mc.pending_requests == 0
+
+    def urgent(self, now: int) -> bool:
+        if self._service_preventive(now):
+            return True
+        mc = self.mc
+        for rank_id, rank in enumerate(mc.ranks):
+            if now < rank.busy_until or now < rank.ref_due:
+                continue
+            if not self._rank_must_refresh(rank_id, now):
+                # Postpone: account the debt once per elapsed interval.
+                continue
+            open_bank = mc.first_open_bank(rank_id)
+            if open_bank is not None:
+                bank = mc.bank(rank_id, open_bank)
+                if now >= bank.next_pre:
+                    mc.issue_pre(rank_id, open_bank, now)
+                    return True
+                continue
+            mc.issue_ref(rank_id, now)
+            missed = max(0, (now - rank.ref_due) // mc.trefi_c)
+            self._debt[rank_id] = max(0, self._debt[rank_id] + missed - 1)
+            rank.ref_due += mc.trefi_c
+            return True
+        return False
+
+    def next_deadline(self, now: int) -> int:
+        """Wake at the postponement limit rather than every tREFI."""
+        soonest = _FAR_FUTURE
+        for rank_id, rank in enumerate(self.mc.ranks):
+            budget_left = self.max_postponed - self._debt[rank_id]
+            deadline = rank.ref_due + max(0, budget_left) * self.mc.trefi_c
+            idle_opportunity = rank.ref_due if self.mc.pending_requests == 0 else deadline
+            soonest = min(soonest, idle_opportunity)
+        return min(soonest, self._preventive_deadline(now))
+
+    def postponed_total(self) -> int:
+        return sum(self._debt)

@@ -1,0 +1,33 @@
+"""Memory requests flowing from cores to the memory controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.geometry import Address
+
+
+@dataclass
+class Request:
+    """One cache-line-sized memory request.
+
+    ``addr`` is the decoded DRAM coordinate; ``line`` the flat cache-line
+    address it came from.  ``complete_cycle`` is filled by the controller
+    when the data burst finishes (reads) or the write is accepted.
+    """
+
+    addr: Address
+    line: int
+    is_write: bool
+    core_id: int
+    arrival_cycle: int
+    complete_cycle: int | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def bank_key(self) -> tuple[int, int, int]:
+        return self.addr.bank_key()
+
+    @property
+    def completed(self) -> bool:
+        return self.complete_cycle is not None

@@ -1,0 +1,237 @@
+"""The full simulated system: cores + address mapper + memory controllers.
+
+The run loop is event-driven: it only visits cycles at which a core can
+issue, a controller can schedule, or a read completes, skipping idle time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.rowhammer.para import Para
+from repro.sim.addressing import AddressMapper
+from repro.sim.config import SystemConfig
+from repro.sim.controller import (
+    BaselineRefreshEngine,
+    ControllerStats,
+    MemoryController,
+    NoRefreshEngine,
+    RefreshEngine,
+)
+from repro.sim.core import CoreModel
+from repro.sim.metrics import alone_ipc_estimate, weighted_speedup
+from repro.sim.request import Request
+from repro.sim.trace import TraceGenerator, TraceProfile
+
+_FAR_FUTURE = 1 << 60
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    cycles: int
+    ipcs: list[float]
+    alone_ipcs: list[float]
+    controller_stats: list[ControllerStats]
+    instructions: list[int]
+    reads: int
+    writes: int
+    finished: bool
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def weighted_speedup(self) -> float:
+        return weighted_speedup(self.ipcs, self.alone_ipcs)
+
+    def stat_total(self, name: str) -> int:
+        return sum(getattr(s, name) for s in self.controller_stats)
+
+
+def _build_engine(config: SystemConfig) -> RefreshEngine:
+    if config.refresh_mode == "none":
+        return NoRefreshEngine()
+    if config.refresh_mode == "baseline":
+        return BaselineRefreshEngine()
+    if config.refresh_mode == "elastic":
+        from repro.sim.elastic import ElasticRefreshEngine
+
+        return ElasticRefreshEngine()
+    from repro.core.engine import HiraRefreshEngine  # local import: avoids cycle
+
+    return HiraRefreshEngine(
+        tref_slack_acts=config.tref_slack_acts,
+        coverage=config.hira_coverage,
+        stagger=config.stagger_bank_refresh,
+        disable_access_parallelization=config.disable_access_parallelization,
+        disable_refresh_parallelization=config.disable_refresh_parallelization,
+    )
+
+
+def _build_para(config: SystemConfig, channel: int):
+    if config.para_nrh is None and config.para_pth_override is None:
+        return None
+    if config.defense == "graphene":
+        from repro.rowhammer.defense import GrapheneDefense
+
+        slack = config.tref_slack_acts if config.refresh_mode == "hira" else 0
+        return GrapheneDefense(nrh=config.para_nrh, tref_slack_acts=slack)
+    if config.para_pth_override is not None:
+        import numpy as np
+
+        return Para(
+            pth=config.para_pth_override,
+            rng=np.random.default_rng(config.para_seed + channel),
+        )
+    slack_ns = (
+        config.tref_slack_ps / 1_000.0 if config.refresh_mode == "hira" else 0.0
+    )
+    para = Para.configured_for(
+        nrh=config.para_nrh,
+        tref_slack_ns=slack_ns,
+        seed=config.para_seed + channel,
+        trc_ns=config.timing.trc / 1_000.0,
+    )
+    return para
+
+
+class System:
+    """Builds and runs one simulated configuration."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        profiles: list[TraceProfile],
+        seed: int = 1,
+        instr_budget: int = 100_000,
+        warmup_instr: int | None = None,
+    ):
+        if len(profiles) != config.cores:
+            raise ValueError(
+                f"need {config.cores} trace profiles, got {len(profiles)}"
+            )
+        self.config = config
+        self.profiles = profiles
+        self.mapper = AddressMapper(config.geometry)
+        self.instr_budget = instr_budget
+        # Paper methodology (§7): warm up for half the measured budget so
+        # both refresh schedules and queues reach steady state before IPC
+        # measurement begins.
+        if warmup_instr is None:
+            warmup_instr = instr_budget // 2
+        self.warmup_instr = warmup_instr
+        self.cores = [
+            CoreModel(
+                core_id=i,
+                trace=TraceGenerator(
+                    profile, self.mapper.lines_per_row, seed=seed * 1_000 + i
+                ),
+                instr_budget=instr_budget,
+                instr_per_mc_cycle=config.instr_per_mc_cycle,
+                instr_window=config.instr_window,
+                mshr=config.mshr_per_core,
+                warmup_instr=warmup_instr,
+            )
+            for i, profile in enumerate(profiles)
+        ]
+        self.controllers = []
+        for channel in range(config.channels):
+            engine = _build_engine(config)
+            para = _build_para(config, channel)
+            mc = MemoryController(channel, config, engine)
+            engine.para = para  # engines check this attribute on demand ACTs
+            self.controllers.append(mc)
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 10_000_000) -> SimResult:
+        """Run until every core finishes its budget or ``max_cycles``."""
+        cores = self.cores
+        mcs = self.controllers
+        completion_heap: list[tuple[int, int, int]] = []  # (cycle, seq, core)
+        entry_by_seq: dict[int, object] = {}
+        seq = 0
+        retry_at = [0] * len(cores)
+        cycle = 0
+
+        while cycle < max_cycles:
+            # 1. Deliver due read completions to cores.
+            while completion_heap and completion_heap[0][0] <= cycle:
+                done_cycle, done_seq, core_id = heapq.heappop(completion_heap)
+                cores[core_id].on_read_complete(entry_by_seq.pop(done_seq), done_cycle)
+
+            # 2. Let cores issue requests into controller queues.
+            for core in cores:
+                if core.done:
+                    continue
+                while True:
+                    ready = core.ready_cycle(cycle)
+                    if ready is None or ready > cycle or retry_at[core.core_id] > cycle:
+                        break
+                    line, is_write = core.peek_pending()
+                    addr = self.mapper.decode(line)
+                    req = Request(
+                        addr=addr,
+                        line=line,
+                        is_write=is_write,
+                        core_id=core.core_id,
+                        arrival_cycle=cycle,
+                    )
+                    if not mcs[addr.channel].enqueue(req):
+                        retry_at[core.core_id] = cycle + 4
+                        break
+                    entry = core.take_request(cycle)
+                    if entry is not None:
+                        req.meta["rob"] = entry
+
+            # 3. Each channel issues at most one command this cycle.
+            for mc in mcs:
+                mc.schedule(cycle)
+                for done_cycle, req in mc.completions:
+                    heapq.heappush(completion_heap, (done_cycle, seq, req.core_id))
+                    entry_by_seq[seq] = req.meta["rob"]
+                    seq += 1
+                mc.completions.clear()
+
+            if all(core.done for core in cores):
+                break
+
+            # 4. Jump to the next interesting cycle.
+            nxt = _FAR_FUTURE
+            if completion_heap:
+                nxt = min(nxt, completion_heap[0][0])
+            for core in cores:
+                if core.done:
+                    continue
+                ready = core.ready_cycle(cycle)
+                if ready is not None:
+                    nxt = min(nxt, max(ready, retry_at[core.core_id]))
+            for mc in mcs:
+                if mc.pending_requests or mc.config.refresh_mode != "none":
+                    nxt = min(nxt, mc.next_event(cycle))
+            if nxt <= cycle:
+                nxt = cycle + 1
+            if nxt == _FAR_FUTURE:
+                break
+            cycle = nxt
+
+        finished = all(core.done for core in cores)
+        end_cycle = max(
+            (core.finish_cycle or cycle for core in cores), default=cycle
+        )
+        ipcs = [core.ipc(core.finish_cycle) if core.done else core.ipc(end_cycle) for core in cores]
+        alone = [
+            alone_ipc_estimate(p.mpki, self.config.instr_per_mc_cycle)
+            for p in self.profiles
+        ]
+        return SimResult(
+            cycles=end_cycle,
+            ipcs=ipcs,
+            alone_ipcs=alone,
+            controller_stats=[mc.stats for mc in mcs],
+            instructions=[core.instructions_retired for core in cores],
+            reads=sum(core.reads_issued for core in cores),
+            writes=sum(core.writes_issued for core in cores),
+            finished=finished,
+            meta={"refresh_mode": self.config.refresh_mode},
+        )

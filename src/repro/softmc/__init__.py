@@ -1,0 +1,12 @@
+"""SoftMC-style characterization infrastructure.
+
+Substitutes for the paper's FPGA testbed (§4.1): a host that issues
+picosecond-timed DRAM command programs to a behavioural chip model, plus the
+data patterns and comparison helpers the experiments use.
+"""
+
+from repro.softmc.host import SoftMCHost
+from repro.softmc.patterns import ALL_PATTERNS, DataPattern
+from repro.softmc.program import Program
+
+__all__ = ["ALL_PATTERNS", "DataPattern", "Program", "SoftMCHost"]

@@ -1,0 +1,85 @@
+"""Shared fixtures: small chip models and hosts for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chip.chip_model import DramChip
+from repro.chip.design import make_design
+from repro.chip.vendor import VendorClass
+from repro.dram.timing import DDR4_2400
+from repro.softmc.host import SoftMCHost
+
+
+@pytest.fixture(scope="session")
+def small_design():
+    """A compact HiRA-capable design: 16 subarrays × 128 rows."""
+    return make_design(
+        name="test-hynix",
+        vendor=VendorClass.HYNIX_LIKE,
+        target_coverage=0.32,
+        design_seed=7,
+        subarrays_per_bank=16,
+        rows_per_subarray=128,
+    )
+
+
+@pytest.fixture()
+def chip(small_design):
+    return DramChip(small_design, timing=DDR4_2400, chip_seed=3)
+
+
+@pytest.fixture()
+def host(chip):
+    return SoftMCHost(chip)
+
+
+@pytest.fixture()
+def samsung_chip():
+    design = make_design(
+        name="test-samsung",
+        vendor=VendorClass.SAMSUNG_LIKE,
+        subarrays_per_bank=16,
+        rows_per_subarray=128,
+        design_seed=8,
+    )
+    return DramChip(design, chip_seed=4)
+
+
+@pytest.fixture()
+def micron_chip():
+    design = make_design(
+        name="test-micron",
+        vendor=VendorClass.MICRON_LIKE,
+        subarrays_per_bank=16,
+        rows_per_subarray=128,
+        design_seed=9,
+    )
+    return DramChip(design, chip_seed=5)
+
+
+def isolated_pair(chip: DramChip) -> tuple[int, int]:
+    """A (row_a, row_b) pair in isolated subarrays of the chip."""
+    iso = chip.isolation
+    for sa in range(chip.geometry.subarrays_per_bank):
+        partners = iso.partners(sa)
+        if partners:
+            return (
+                chip.geometry.row_of(sa, 5),
+                chip.geometry.row_of(partners[0], 9),
+            )
+    raise RuntimeError("no isolated pair in this design")
+
+
+def non_isolated_pair(chip: DramChip) -> tuple[int, int]:
+    """A (row_a, row_b) pair in non-adjacent, non-isolated subarrays."""
+    iso = chip.isolation
+    n = chip.geometry.subarrays_per_bank
+    for sa in range(n):
+        for sb in range(sa + 2, n):
+            if not iso.isolated(sa, sb):
+                return (
+                    chip.geometry.row_of(sa, 5),
+                    chip.geometry.row_of(sb, 9),
+                )
+    raise RuntimeError("no non-isolated pair in this design")

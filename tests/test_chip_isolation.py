@@ -1,0 +1,85 @@
+"""Subarray isolation map: structure, symmetry, calibration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chip.isolation import IsolationMap
+
+
+@pytest.fixture(scope="module")
+def iso():
+    return IsolationMap(subarrays=64, design_seed=11, target_coverage=0.32)
+
+
+class TestStructure:
+    def test_irreflexive(self, iso):
+        assert all(not iso.isolated(sa, sa) for sa in range(64))
+
+    def test_symmetric(self, iso):
+        for a in range(64):
+            for b in range(64):
+                assert iso.isolated(a, b) == iso.isolated(b, a)
+
+    def test_open_bitline_neighbours_never_isolated(self, iso):
+        for sa in range(63):
+            assert not iso.isolated(sa, sa + 1)
+
+    def test_deterministic_rebuild(self):
+        a = IsolationMap(subarrays=64, design_seed=11, target_coverage=0.32)
+        b = IsolationMap(subarrays=64, design_seed=11, target_coverage=0.32)
+        for sa in range(64):
+            assert a.partners(sa) == b.partners(sa)
+
+    def test_different_seeds_differ(self):
+        a = IsolationMap(subarrays=64, design_seed=1, target_coverage=0.32)
+        b = IsolationMap(subarrays=64, design_seed=2, target_coverage=0.32)
+        assert any(a.partners(sa) != b.partners(sa) for sa in range(64))
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("target", [0.25, 0.32, 0.38])
+    def test_average_coverage_near_target(self, target):
+        iso = IsolationMap(subarrays=64, design_seed=5, target_coverage=target)
+        assert iso.average_coverage() == pytest.approx(target, abs=0.06)
+
+    def test_rejects_invalid_target(self):
+        with pytest.raises(ValueError):
+            IsolationMap(subarrays=64, design_seed=1, target_coverage=0.0)
+
+    def test_rejects_tiny_banks(self):
+        with pytest.raises(ValueError):
+            IsolationMap(subarrays=2, design_seed=1, target_coverage=0.3)
+
+    def test_large_bank_subsampled_calibration(self):
+        # 1024 subarrays triggers the capped calibration sample.
+        iso = IsolationMap(subarrays=1024, design_seed=3, target_coverage=0.32)
+        assert iso.average_coverage() == pytest.approx(0.32, abs=0.08)
+
+
+class TestQueries:
+    def test_partners_listed_are_isolated(self, iso):
+        for sa in (0, 17, 63):
+            for partner in iso.partners(sa):
+                assert iso.isolated(sa, partner)
+
+    def test_coverage_of_subarray(self, iso):
+        candidates = list(range(64))
+        value = iso.coverage_of_subarray(0, candidates)
+        expected = len(iso.partners(0)) / 64
+        assert value == pytest.approx(expected)
+
+    def test_coverage_of_empty_candidates(self, iso):
+        assert iso.coverage_of_subarray(0, []) == 0.0
+
+
+@settings(max_examples=25)
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    target=st.floats(min_value=0.15, max_value=0.5),
+)
+def test_map_always_symmetric_and_irreflexive(seed, target):
+    iso = IsolationMap(subarrays=32, design_seed=seed, target_coverage=target)
+    for a in range(32):
+        assert not iso.isolated(a, a)
+        for b in range(a + 1, 32):
+            assert iso.isolated(a, b) == iso.isolated(b, a)

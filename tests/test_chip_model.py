@@ -1,0 +1,195 @@
+"""The behavioural chip: HiRA physics, vendor behaviour, protocol rules."""
+
+import numpy as np
+import pytest
+
+from repro.dram.commands import Command, CommandKind
+from repro.dram.errors import DramError, TimingViolation
+from repro.softmc.host import SoftMCHost
+from repro.softmc.patterns import DataPattern
+
+from tests.conftest import isolated_pair, non_isolated_pair
+
+
+def flips(host, pattern, bank, row):
+    return host.compare_data(pattern, bank, row)
+
+
+class TestBasicProtocol:
+    def test_write_then_read_roundtrip(self, host):
+        host.initialize(0, 17, DataPattern.CHECKERBOARD)
+        data = host.read_row(0, 17)
+        assert np.all(data == 0xAA)
+
+    def test_uninitialized_rows_read_zero(self, host):
+        assert np.all(host.read_row(0, 40) == 0)
+
+    def test_commands_must_be_time_ordered(self, chip):
+        chip.issue(Command(kind=CommandKind.ACT, time_ps=10_000, bank=0, row=1))
+        with pytest.raises(TimingViolation):
+            chip.issue(Command(kind=CommandKind.ACT, time_ps=5_000, bank=1, row=1))
+
+    def test_read_without_open_row_rejected(self, chip):
+        with pytest.raises(DramError):
+            chip.issue(Command(kind=CommandKind.RD, time_ps=1_000, bank=0, col=0))
+
+    def test_read_before_trcd_rejected(self, chip):
+        chip.issue(Command(kind=CommandKind.ACT, time_ps=0, bank=0, row=1))
+        with pytest.raises(TimingViolation):
+            chip.issue(Command(kind=CommandKind.RD, time_ps=5_000, bank=0, col=0))
+
+    def test_act_to_open_bank_ignored(self, chip):
+        chip.issue(Command(kind=CommandKind.ACT, time_ps=0, bank=0, row=1))
+        chip.issue(Command(kind=CommandKind.ACT, time_ps=50_000, bank=0, row=2))
+        assert chip.stats.ignored_act == 1
+
+
+class TestHiraSuccess:
+    def test_isolated_pair_no_corruption(self, chip, host):
+        row_a, row_b = isolated_pair(chip)
+        for pattern in (DataPattern.ALL_ONES, DataPattern.CHECKERBOARD):
+            host.initialize(0, row_a, pattern)
+            host.initialize(0, row_b, pattern.inverse)
+            host.hira(0, row_a, row_b)
+            assert flips(host, pattern, 0, row_a) == 0
+            assert flips(host, pattern.inverse, 0, row_b) == 0
+
+    def test_two_rows_open_after_hira(self, chip, host):
+        row_a, row_b = isolated_pair(chip)
+        host.initialize(0, row_a, DataPattern.ALL_ONES)
+        host.initialize(0, row_b, DataPattern.ALL_ZEROS)
+        host.hira(0, row_a, row_b, close=False)
+        assert chip.open_row_count(0) == 2
+
+    def test_one_pre_closes_both_rows(self, chip, host):
+        """Paper footnote 1: a single PRE closes all wordlines."""
+        row_a, row_b = isolated_pair(chip)
+        host.initialize(0, row_a, DataPattern.ALL_ONES)
+        host.initialize(0, row_b, DataPattern.ALL_ZEROS)
+        host.hira(0, row_a, row_b, close=True)
+        host.advance(100_000)
+        assert chip.open_row_count(0) == 0
+
+    def test_bank_io_owned_by_second_row(self, chip, host):
+        row_a, row_b = isolated_pair(chip)
+        host.initialize(0, row_a, DataPattern.ALL_ONES)
+        host.initialize(0, row_b, DataPattern.ALL_ZEROS)
+        host.hira(0, row_a, row_b, close=False)
+        open_row, data = chip.read_open_row(0)
+        assert open_row == row_b
+        assert np.all(data == 0x00)
+
+    def test_hira_success_counted(self, chip, host):
+        row_a, row_b = isolated_pair(chip)
+        host.initialize(0, row_a, DataPattern.ALL_ONES)
+        host.initialize(0, row_b, DataPattern.ALL_ZEROS)
+        before = chip.stats.hira_successes
+        host.hira(0, row_a, row_b)
+        assert chip.stats.hira_successes == before + 1
+
+
+class TestHiraFailureModes:
+    def test_non_isolated_pair_corrupts(self, chip, host):
+        row_a, row_b = non_isolated_pair(chip)
+        host.initialize(0, row_a, DataPattern.ALL_ONES)
+        host.initialize(0, row_b, DataPattern.ALL_ZEROS)
+        host.hira(0, row_a, row_b)
+        total = flips(host, DataPattern.ALL_ONES, 0, row_a) + flips(
+            host, DataPattern.ALL_ZEROS, 0, row_b
+        )
+        assert total > 0
+
+    def test_same_subarray_pair_corrupts(self, chip, host):
+        row_a = chip.geometry.row_of(4, 10)
+        row_b = chip.geometry.row_of(4, 90)
+        host.initialize(0, row_a, DataPattern.ALL_ONES)
+        host.initialize(0, row_b, DataPattern.ALL_ZEROS)
+        host.hira(0, row_a, row_b)
+        total = flips(host, DataPattern.ALL_ONES, 0, row_a) + flips(
+            host, DataPattern.ALL_ZEROS, 0, row_b
+        )
+        assert total > 0
+
+    def test_t1_too_small_corrupts_first_row(self, chip, host):
+        row_a, row_b = isolated_pair(chip)
+        # Find a row whose sense amps need more than 1.5 ns.
+        timing = chip.variation.row_timing(0, chip.design.logical_to_physical(row_a))
+        host.initialize(0, row_a, DataPattern.ALL_ONES)
+        host.initialize(0, row_b, DataPattern.ALL_ZEROS)
+        host.hira(0, row_a, row_b, t1_ps=1_500)
+        if timing.sa_enable_ps > 1_500:
+            assert flips(host, DataPattern.ALL_ONES, 0, row_a) > 0
+        else:
+            assert flips(host, DataPattern.ALL_ONES, 0, row_a) == 0
+
+    def test_nominal_sequences_never_corrupt(self, chip, host):
+        """Legal JEDEC timing preserves data for any row pair order."""
+        rows = [3, 700, 1_500]
+        for row in rows:
+            host.initialize(0, row, DataPattern.INV_CHECKERBOARD)
+        for row in rows:
+            host.activate_refresh(0, row)
+        for row in rows:
+            assert flips(host, DataPattern.INV_CHECKERBOARD, 0, row) == 0
+
+
+class TestVendorBehaviour:
+    def test_samsung_like_ignores_early_pre(self, samsung_chip):
+        host = SoftMCHost(samsung_chip)
+        row_a, row_b = isolated_pair(samsung_chip)
+        host.initialize(0, row_a, DataPattern.ALL_ONES)
+        host.initialize(0, row_b, DataPattern.ALL_ZEROS)
+        host.hira(0, row_a, row_b)
+        assert samsung_chip.stats.ignored_pre >= 1
+        # No corruption, but also no HiRA success.
+        assert samsung_chip.stats.hira_successes == 0
+        assert host.compare_data(DataPattern.ALL_ONES, 0, row_a) == 0
+        assert host.compare_data(DataPattern.ALL_ZEROS, 0, row_b) == 0
+
+    def test_micron_like_ignores_fast_act(self, micron_chip):
+        host = SoftMCHost(micron_chip)
+        row_a, row_b = isolated_pair(micron_chip)
+        host.initialize(0, row_a, DataPattern.ALL_ONES)
+        host.initialize(0, row_b, DataPattern.ALL_ZEROS)
+        host.hira(0, row_a, row_b)
+        assert micron_chip.stats.ignored_act >= 1
+        assert micron_chip.stats.hira_successes == 0
+        assert host.compare_data(DataPattern.ALL_ONES, 0, row_a) == 0
+        assert host.compare_data(DataPattern.ALL_ZEROS, 0, row_b) == 0
+
+
+class TestRefreshAndHammer:
+    def test_ref_command_advances_pointer(self, chip):
+        chip.issue(Command(kind=CommandKind.REF, time_ps=0))
+        assert chip.stats.refs == 1
+
+    def test_bulk_hammer_requires_precharged(self, chip, host):
+        host.initialize(0, 5, DataPattern.ALL_ONES)
+        prog = host.program().act(0, 5, wait_ps=chip.timing.tras)
+        host.run(prog)
+        with pytest.raises(DramError):
+            chip.bulk_hammer(0, [6], 100)
+
+    def test_hammering_flips_victim_eventually(self, chip, host):
+        victim = chip.geometry.row_of(2, 20)
+        aggressors = chip.design.aggressors_for_victim(victim)
+        assert len(aggressors) == 2
+        host.initialize(0, victim, DataPattern.ALL_ONES)
+        for aggr in aggressors:
+            host.initialize(0, aggr, DataPattern.ALL_ZEROS)
+        host.hammer(0, aggressors, 300_000)
+        assert host.compare_data(DataPattern.ALL_ONES, 0, victim) > 0
+
+    def test_refresh_between_hammers_protects(self, chip, host):
+        victim = chip.geometry.row_of(2, 40)
+        aggressors = chip.design.aggressors_for_victim(victim)
+        phys = chip.design.logical_to_physical(victim)
+        nrh = chip.variation.row_timing(0, phys).nrh
+        half = int(nrh * 0.35)  # below threshold per half, above in total
+        host.initialize(0, victim, DataPattern.ALL_ONES)
+        for aggr in aggressors:
+            host.initialize(0, aggr, DataPattern.ALL_ZEROS)
+        host.hammer(0, aggressors, half)
+        host.activate_refresh(0, victim)
+        host.hammer(0, aggressors, half)
+        assert host.compare_data(DataPattern.ALL_ONES, 0, victim) == 0

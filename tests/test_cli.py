@@ -1,0 +1,45 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.mode == "hira" and args.capacity == 8.0
+
+    def test_security_args(self):
+        args = build_parser().parse_args(["security", "--nrh", "64", "--slack", "4"])
+        assert args.nrh == 64.0 and args.slack == 4
+
+
+class TestCommands:
+    def test_security_command(self, capsys):
+        assert main(["security", "--nrh", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "PARA-Legacy pth" in out and "0.47" in out
+
+    def test_simulate_command(self, capsys):
+        assert main([
+            "simulate", "--mode", "hira", "--capacity", "8",
+            "--instructions", "5000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "weighted speedup" in out
+
+    def test_characterize_unknown_module(self, capsys):
+        assert main(["characterize", "--module", "ZZ"]) == 2
+
+    def test_characterize_command(self, capsys):
+        assert main([
+            "characterize", "--module", "A0", "--stride", "256",
+            "--rows-a-step", "24", "--victims", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "HiRA coverage" in out and "normalized NRH" in out

@@ -1,0 +1,149 @@
+"""HiRA-MC storage structures: Refresh Table, RefPtr, PR-FIFO, SPT."""
+
+import pytest
+
+from repro.core.hira_op import HiraOperation, RefreshKind, access_after_refresh_latency_ps, refresh_pair_savings
+from repro.core.pr_fifo import PreventiveRequest, PrFifo
+from repro.core.refresh_table import RefreshTable, RefreshTableEntry
+from repro.core.refptr_table import RefPtrTable
+from repro.core.spt import SubarrayPairsTable
+from repro.dram.geometry import Geometry
+
+
+class TestRefreshTable:
+    def test_orders_by_deadline(self):
+        table = RefreshTable()
+        table.insert(RefreshTableEntry(deadline=50, bank=1))
+        table.insert(RefreshTableEntry(deadline=10, bank=2))
+        table.insert(RefreshTableEntry(deadline=30, bank=3))
+        assert table.earliest().bank == 2
+        assert [e.deadline for e in table] == [10, 30, 50]
+
+    def test_capacity_enforced(self):
+        table = RefreshTable(capacity=2)
+        assert table.insert(RefreshTableEntry(deadline=1, bank=0))
+        assert table.insert(RefreshTableEntry(deadline=2, bank=0))
+        assert not table.insert(RefreshTableEntry(deadline=3, bank=0))
+        assert table.full
+
+    def test_earliest_for_bank(self):
+        table = RefreshTable()
+        table.insert(RefreshTableEntry(deadline=10, bank=2))
+        table.insert(RefreshTableEntry(deadline=20, bank=5))
+        assert table.earliest_for_bank(5).deadline == 20
+        assert table.earliest_for_bank(9) is None
+
+    def test_due_entries(self):
+        table = RefreshTable()
+        table.insert(RefreshTableEntry(deadline=10, bank=0))
+        table.insert(RefreshTableEntry(deadline=99, bank=0))
+        assert len(table.due_entries(50)) == 1
+
+    def test_pop_removes(self):
+        table = RefreshTable()
+        entry = RefreshTableEntry(deadline=10, bank=0, kind=RefreshKind.PREVENTIVE)
+        table.insert(entry)
+        table.pop(entry)
+        assert len(table) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RefreshTable(capacity=0)
+
+
+class TestRefPtrTable:
+    def test_advance_walks_subarray(self):
+        geom = Geometry(subarrays_per_bank=4, rows_per_subarray=8)
+        table = RefPtrTable(geom)
+        rows = [table.advance(0, 2) for __ in range(10)]
+        assert rows[0] == geom.row_of(2, 0)
+        assert rows[7] == geom.row_of(2, 7)
+        assert rows[8] == geom.row_of(2, 0)  # wraps
+
+    def test_counts_and_least_refreshed(self):
+        geom = Geometry(subarrays_per_bank=4, rows_per_subarray=8)
+        table = RefPtrTable(geom)
+        table.advance(0, 1)
+        table.advance(0, 1)
+        table.advance(0, 3)
+        assert table.refreshed_count(0, 1) == 2
+        assert table.least_refreshed(0, [1, 3]) == 3
+        assert table.least_refreshed(0, []) is None
+
+    def test_reset_window_clears_counts_not_pointers(self):
+        geom = Geometry(subarrays_per_bank=4, rows_per_subarray=8)
+        table = RefPtrTable(geom)
+        table.advance(0, 1)
+        table.reset_window()
+        assert table.refreshed_count(0, 1) == 0
+        assert table.next_row(0, 1) == geom.row_of(1, 1)
+
+
+class TestPrFifo:
+    def test_fifo_order(self):
+        fifo = PrFifo(banks=2, depth=4)
+        fifo.push(0, PreventiveRequest(row=5, deadline=10))
+        fifo.push(0, PreventiveRequest(row=7, deadline=20))
+        assert fifo.head(0).row == 5
+        assert fifo.pop(0).row == 5
+        assert fifo.head(0).row == 7
+
+    def test_depth_limit(self):
+        fifo = PrFifo(banks=1, depth=2)
+        assert fifo.push(0, PreventiveRequest(1, 1))
+        assert fifo.push(0, PreventiveRequest(2, 2))
+        assert not fifo.push(0, PreventiveRequest(3, 3))
+        assert fifo.full(0)
+
+    def test_per_bank_independence(self):
+        fifo = PrFifo(banks=2, depth=1)
+        fifo.push(0, PreventiveRequest(1, 1))
+        assert fifo.head(1) is None
+        assert fifo.total_pending() == 1
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            PrFifo(banks=1, depth=0)
+
+
+class TestSubarrayPairsTable:
+    @pytest.fixture(scope="class")
+    def spt(self):
+        return SubarrayPairsTable(Geometry(subarrays_per_bank=32, rows_per_subarray=64), coverage=0.32)
+
+    def test_isolated_is_symmetric(self, spt):
+        for a in range(32):
+            for b in range(32):
+                assert spt.isolated(a, b) == spt.isolated(b, a)
+
+    def test_partner_is_isolated(self, spt):
+        for sa in range(32):
+            partner = spt.partner_subarray(0, sa)
+            if partner is not None:
+                assert spt.isolated(sa, partner)
+
+    def test_partner_rotates(self, spt):
+        partners = {spt.partner_subarray(1, 0) for __ in range(16)}
+        assert len(partners) > 1
+
+    def test_refresh_pair_isolated(self, spt):
+        pair = spt.refresh_pair(2)
+        assert pair is not None
+        assert spt.isolated(*pair)
+
+    def test_average_coverage_near_target(self, spt):
+        assert spt.average_coverage == pytest.approx(0.32, abs=0.08)
+
+
+class TestHiraOperation:
+    def test_command_counts(self):
+        access = HiraOperation(bank=0, refresh_row=1, second_row=2, is_access=True)
+        pair = HiraOperation(bank=0, refresh_row=1, second_row=2, is_access=False)
+        assert access.command_count() == 3
+        assert pair.command_count() == 4
+
+    def test_pair_savings_51_4(self):
+        assert refresh_pair_savings() == pytest.approx(0.514, abs=0.002)
+
+    def test_access_latency_6ns(self):
+        assert access_after_refresh_latency_ps() == 6_000

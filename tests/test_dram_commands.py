@@ -1,0 +1,57 @@
+"""DDR4 command construction and validation."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandKind
+
+
+class TestCommandKind:
+    def test_act_targets_row_and_bank(self):
+        assert CommandKind.ACT.targets_row()
+        assert CommandKind.ACT.targets_bank()
+
+    def test_pre_carries_no_row(self):
+        # Load-bearing for HiRA: PRE closes every wordline in the bank.
+        assert not CommandKind.PRE.targets_row()
+        assert CommandKind.PRE.targets_bank()
+
+    def test_column_access_classification(self):
+        assert CommandKind.RD.is_column_access()
+        assert CommandKind.WR.is_column_access()
+        assert not CommandKind.ACT.is_column_access()
+        assert not CommandKind.REF.is_column_access()
+
+    def test_ref_is_rank_level(self):
+        assert not CommandKind.REF.targets_bank()
+
+
+class TestCommand:
+    def test_act_requires_row(self):
+        with pytest.raises(ValueError):
+            Command(kind=CommandKind.ACT, time_ps=0, bank=0)
+
+    def test_rd_requires_col(self):
+        with pytest.raises(ValueError):
+            Command(kind=CommandKind.RD, time_ps=0, bank=0)
+
+    def test_pre_requires_bank(self):
+        with pytest.raises(ValueError):
+            Command(kind=CommandKind.PRE, time_ps=0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Command(kind=CommandKind.REF, time_ps=-1)
+
+    def test_valid_act(self):
+        cmd = Command(kind=CommandKind.ACT, time_ps=1_500, bank=3, row=42)
+        assert cmd.bank == 3 and cmd.row == 42
+
+    def test_describe_renders_fields(self):
+        cmd = Command(kind=CommandKind.ACT, time_ps=1_500, bank=3, row=42)
+        text = cmd.describe()
+        assert "@1500ps" in text and "ACT" in text and "b3" in text and "r42" in text
+
+    def test_meta_not_part_of_equality(self):
+        a = Command(kind=CommandKind.PRE, time_ps=5, bank=0, meta={"x": 1})
+        b = Command(kind=CommandKind.PRE, time_ps=5, bank=0, meta={"y": 2})
+        assert a == b

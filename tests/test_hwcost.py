@@ -1,0 +1,70 @@
+"""Table 2: HiRA-MC hardware cost estimates."""
+
+import pytest
+
+from repro.hwcost.report import (
+    HIRA_MC_COMPONENTS,
+    area_fraction_of_reference_die,
+    component_estimates,
+    overall_area_mm2,
+    worst_case_query_latency_ns,
+)
+from repro.hwcost.sram_model import SramArray, estimate
+
+
+class TestSramModel:
+    def test_area_grows_with_bits(self):
+        small = estimate(SramArray("a", entries=64, bits_per_entry=8))
+        large = estimate(SramArray("b", entries=4_096, bits_per_entry=8))
+        assert large.area_mm2 > small.area_mm2
+
+    def test_latency_grows_with_area(self):
+        small = estimate(SramArray("a", entries=64, bits_per_entry=8))
+        large = estimate(SramArray("b", entries=4_096, bits_per_entry=8))
+        assert large.access_latency_ns > small.access_latency_ns
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            SramArray("a", entries=0, bits_per_entry=8)
+
+
+class TestTable2:
+    """Calibration against the paper's CACTI numbers (±25%)."""
+
+    @pytest.mark.parametrize(
+        "name, area, latency",
+        [
+            ("Refresh Table", 0.00031, 0.07),
+            ("RefPtr Table", 0.00683, 0.12),
+            ("PR-FIFO", 0.00029, 0.07),
+            ("Subarray Pairs Table (SPT)", 0.00180, 0.09),
+        ],
+    )
+    def test_component_costs(self, name, area, latency):
+        by_name = {e.array.name: e for e in component_estimates()}
+        est = by_name[name]
+        assert est.area_mm2 == pytest.approx(area, rel=0.25)
+        assert est.access_latency_ns == pytest.approx(latency, rel=0.25)
+
+    def test_overall_area_near_paper(self):
+        # Paper: 0.00923 mm² per rank.
+        assert overall_area_mm2() == pytest.approx(0.00923, rel=0.2)
+
+    def test_area_fraction_tiny(self):
+        # Paper: 0.0023% of a 22 nm processor die.
+        assert area_fraction_of_reference_die() < 0.0001
+
+    def test_worst_case_latency_below_trp(self):
+        # Paper: 6.31 ns, below the nominal 14.5 ns tRP.
+        latency = worst_case_query_latency_ns()
+        assert latency == pytest.approx(6.31, rel=0.15)
+        assert latency < 14.5
+
+    def test_component_inventory(self):
+        names = {a.name for a in HIRA_MC_COMPONENTS}
+        assert names == {
+            "Refresh Table",
+            "RefPtr Table",
+            "PR-FIFO",
+            "Subarray Pairs Table (SPT)",
+        }

@@ -1,0 +1,88 @@
+"""Cross-module integration: the full pipelines the benchmarks rely on."""
+
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.experiments.coverage import coverage_distribution, tested_row_sample as row_sample
+from repro.experiments.modules import TESTED_MODULES, build_module_chip
+from repro.experiments.second_act import characterize_normalized_nrh
+from repro.rowhammer.security import solve_pth
+from repro.sim.config import SystemConfig
+from repro.sim.system import System
+from repro.workloads.mixes import mix_for
+
+
+class TestCharacterizationPipeline:
+    """Tables 1/4 end to end on one module (subsampled)."""
+
+    @pytest.fixture(scope="class")
+    def module_chip(self):
+        return build_module_chip(TESTED_MODULES[4])  # C0
+
+    def test_coverage_near_module_target(self, module_chip):
+        rows = row_sample(module_chip.geometry, chunk=2048, stride=128)
+        dist = coverage_distribution(
+            module_chip, 0, 3_000, 3_000, tested_rows=rows, rows_a=rows[::6]
+        )
+        assert dist.average == pytest.approx(
+            TESTED_MODULES[4].target_coverage, abs=0.08
+        )
+        assert dist.minimum > 0.0  # no zero-coverage rows at t1 = 3 ns
+
+    def test_normalized_nrh_near_1_9(self, module_chip):
+        rows = row_sample(module_chip.geometry, chunk=2048, stride=512)[:12]
+        results = characterize_normalized_nrh(module_chip, 0, rows)
+        ratios = [r.normalized for r in results]
+        box = summarize(ratios)
+        assert 1.6 < box.mean < 2.2
+        without = summarize([r.threshold_without_hira for r in results])
+        assert 18_000 < without.mean < 40_000  # ~27.2K in the paper
+
+
+class TestPerformancePipeline:
+    """Figure 9/12 data points end to end (scaled down)."""
+
+    def test_capacity_point_ordering(self):
+        from repro.sim.trace import TraceProfile
+
+        # A row-hit-friendly memory-bound mix at 128 Gbit: the regime where
+        # Fig. 9's ordering (baseline < HiRA ≤ No-Refresh) is unambiguous.
+        mix = [
+            TraceProfile("stream", mpki=20.0, row_locality=0.85, read_fraction=0.7)
+        ] * 8
+        results = {}
+        for mode, extra in (
+            ("none", {}),
+            ("baseline", {}),
+            ("hira", {"tref_slack_acts": 2}),
+        ):
+            cfg = SystemConfig(capacity_gbit=128.0, refresh_mode=mode, **extra)
+            # A long enough run that several tREFI windows elapse; short
+            # runs under-charge the baseline (its first REF lands at tREFI
+            # while HiRA refreshes from cycle zero).
+            results[mode] = System(cfg, mix, seed=5, instr_budget=150_000).run(
+                max_cycles=8_000_000
+            )
+        assert (
+            results["baseline"].weighted_speedup
+            < results["hira"].weighted_speedup
+            <= results["none"].weighted_speedup * 1.02
+        )
+
+    def test_para_point_ordering(self):
+        mix = mix_for(2)
+        nrh = 128.0
+        para_cfg = SystemConfig(capacity_gbit=8.0, refresh_mode="baseline", para_nrh=nrh)
+        hira_cfg = SystemConfig(
+            capacity_gbit=8.0, refresh_mode="hira", para_nrh=nrh, tref_slack_acts=4
+        )
+        para = System(para_cfg, mix, seed=6, instr_budget=40_000).run(max_cycles=8_000_000)
+        hira = System(hira_cfg, mix, seed=6, instr_budget=40_000).run(max_cycles=8_000_000)
+        assert hira.weighted_speedup > para.weighted_speedup
+
+    def test_para_pth_respects_slack_configuration(self):
+        cfg = SystemConfig(refresh_mode="hira", para_nrh=128.0, tref_slack_acts=8)
+        system = System(cfg, mix_for(0), seed=1, instr_budget=1_000)
+        engine = system.controllers[0].engine
+        expected = solve_pth(128.0, 8.0)
+        assert engine.para.pth == pytest.approx(expected, rel=1e-6)

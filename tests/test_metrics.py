@@ -1,0 +1,79 @@
+"""Weighted speedup and companion metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.metrics import (
+    alone_ipc_estimate,
+    geomean,
+    harmonic_speedup,
+    weighted_speedup,
+)
+
+
+class TestWeightedSpeedup:
+    def test_identity_when_shared_equals_alone(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+
+    def test_nonpositive_alone_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+
+
+class TestHarmonic:
+    def test_equal_speedups(self):
+        assert harmonic_speedup([0.5, 0.5], [1.0, 1.0]) == pytest.approx(0.5)
+
+    def test_zero_shared_gives_zero(self):
+        assert harmonic_speedup([0.0, 1.0], [1.0, 1.0]) == 0.0
+
+    def test_harmonic_below_arithmetic(self):
+        shared, alone = [0.2, 0.9], [1.0, 1.0]
+        arithmetic = weighted_speedup(shared, alone) / 2
+        assert harmonic_speedup(shared, alone) <= arithmetic + 1e-12
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+
+class TestAloneEstimate:
+    def test_memory_intensity_lowers_ipc(self):
+        light = alone_ipc_estimate(1.0, 10.0)
+        heavy = alone_ipc_estimate(30.0, 10.0)
+        assert heavy < light
+
+    def test_bounded_by_peak(self):
+        assert alone_ipc_estimate(0.001, 10.0) <= 10.0
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            alone_ipc_estimate(10.0, 0.0)
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=8),
+)
+def test_ws_monotone_in_each_core(ipcs):
+    alone = [10.0] * len(ipcs)
+    base = weighted_speedup(ipcs, alone)
+    boosted = list(ipcs)
+    boosted[0] *= 2
+    assert weighted_speedup(boosted, alone) > base

@@ -1,0 +1,62 @@
+"""The PARA mechanism object."""
+
+import numpy as np
+import pytest
+
+from repro.rowhammer.para import Para
+from repro.rowhammer.security import solve_pth
+
+
+def make(pth, seed=1):
+    return Para(pth=pth, rng=np.random.default_rng(seed))
+
+
+class TestDraws:
+    def test_pth_zero_never_fires(self):
+        para = make(0.0)
+        assert all(
+            para.preventive_refresh_target(100, 1_000) is None for __ in range(200)
+        )
+
+    def test_pth_one_always_fires_adjacent(self):
+        para = make(1.0)
+        for __ in range(200):
+            victim = para.preventive_refresh_target(100, 1_000)
+            assert victim in (99, 101)
+
+    def test_rate_matches_pth(self):
+        para = make(0.3)
+        fired = sum(
+            para.preventive_refresh_target(50, 1_000) is not None
+            for __ in range(20_000)
+        )
+        assert fired / 20_000 == pytest.approx(0.3, abs=0.02)
+
+    def test_both_sides_chosen(self):
+        para = make(1.0)
+        sides = {para.preventive_refresh_target(100, 1_000) for __ in range(100)}
+        assert sides == {99, 101}
+
+    def test_edge_rows_clamped(self):
+        para = make(1.0)
+        for __ in range(50):
+            assert para.preventive_refresh_target(0, 1_000) == 1
+            assert para.preventive_refresh_target(999, 1_000) == 998
+
+    def test_invalid_pth(self):
+        with pytest.raises(ValueError):
+            make(1.5)
+
+
+class TestConfiguredFor:
+    def test_uses_security_solver(self):
+        para = Para.configured_for(nrh=128)
+        assert para.pth == pytest.approx(solve_pth(128), abs=1e-9)
+
+    def test_slack_increases_pth(self):
+        base = Para.configured_for(nrh=128, tref_slack_ns=0.0)
+        slack = Para.configured_for(nrh=128, tref_slack_ns=8 * 46.25)
+        assert slack.pth > base.pth
+
+    def test_lower_nrh_higher_pth(self):
+        assert Para.configured_for(nrh=64).pth > Para.configured_for(nrh=1024).pth

@@ -1,0 +1,59 @@
+"""Algorithm 2: threshold measurement with and without HiRA."""
+
+import pytest
+
+from repro.experiments.second_act import pick_dummy_row
+from repro.rowhammer.threshold import (
+    HammerTestConfig,
+    measure_threshold,
+    normalized_threshold,
+    run_hammer_test,
+)
+
+
+@pytest.fixture()
+def config(chip):
+    victim = chip.geometry.row_of(2, 30)
+    aggressors = chip.design.aggressors_for_victim(victim)
+    dummy = pick_dummy_row(chip, victim)
+    assert dummy is not None
+    return HammerTestConfig(
+        bank=0, victim=victim, aggressors=tuple(aggressors), dummy_row=dummy
+    )
+
+
+class TestRunHammerTest:
+    def test_huge_count_flips(self, host, config):
+        assert run_hammer_test(host, config, 390_000, with_hira=False)
+
+    def test_tiny_count_does_not_flip(self, host, config):
+        assert not run_hammer_test(host, config, 1_000, with_hira=False)
+
+    def test_hira_protects_at_intermediate_count(self, host, config):
+        phys = host.chip.design.logical_to_physical(config.victim)
+        nrh = host.chip.variation.row_timing(0, phys).nrh
+        count = int(nrh * 0.75)  # above threshold in total, below per half
+        assert run_hammer_test(host, config, count, with_hira=False)
+        assert not run_hammer_test(host, config, count, with_hira=True)
+
+
+class TestMeasureThreshold:
+    def test_threshold_near_half_intrinsic(self, host, config):
+        """Double-sided exposure is ~2·HC, so measured ≈ NRH/2."""
+        phys = host.chip.design.logical_to_physical(config.victim)
+        nrh = host.chip.variation.row_timing(0, phys).nrh
+        measured = measure_threshold(host, config, with_hira=False)
+        assert measured == pytest.approx(nrh / 2, rel=0.25)
+
+    def test_normalized_ratio_in_paper_range(self, host, config):
+        without, with_h, ratio = normalized_threshold(host, config)
+        assert with_h > without
+        assert 1.0 < ratio < 2.9  # Table 4 spans 1.09–2.58
+
+    def test_returns_hi_when_unflippable(self, host, config):
+        assert measure_threshold(host, config, with_hira=False, lo=10, hi=100) == 100
+
+    def test_resolution_bounds_bracket(self, host, config):
+        a = measure_threshold(host, config, with_hira=False, resolution=4_096)
+        b = measure_threshold(host, config, with_hira=False, resolution=128)
+        assert abs(a - b) <= 4_096 + 2_048

@@ -1,0 +1,88 @@
+"""Functional LLC model: LRU, writebacks, hit statistics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cache import Cache, CacheConfig
+
+
+@pytest.fixture()
+def tiny():
+    # 4 sets × 2 ways.
+    return Cache(CacheConfig(size_bytes=8 * 64, ways=2, line_bytes=64))
+
+
+class TestBasics:
+    def test_cold_miss_fills(self, tiny):
+        transactions = tiny.access(0, is_write=False)
+        assert transactions == [(0, False)]
+        assert tiny.misses == 1 and tiny.hits == 0
+
+    def test_hit_after_fill(self, tiny):
+        tiny.access(0, False)
+        assert tiny.access(0, False) == []
+        assert tiny.hits == 1
+
+    def test_lru_eviction(self, tiny):
+        tiny.access(0, False)   # set 0
+        tiny.access(4, False)   # set 0 (4 % 4 == 0)
+        tiny.access(8, False)   # evicts line 0
+        assert not tiny.contains(0)
+        assert tiny.contains(4) and tiny.contains(8)
+
+    def test_hit_refreshes_lru(self, tiny):
+        tiny.access(0, False)
+        tiny.access(4, False)
+        tiny.access(0, False)   # 0 becomes MRU
+        tiny.access(8, False)   # evicts 4, not 0
+        assert tiny.contains(0)
+        assert not tiny.contains(4)
+
+    def test_dirty_eviction_writes_back(self, tiny):
+        tiny.access(0, True)
+        tiny.access(4, False)
+        transactions = tiny.access(8, False)
+        assert (0, True) in transactions
+        assert tiny.writebacks == 1
+
+    def test_clean_eviction_silent(self, tiny):
+        tiny.access(0, False)
+        tiny.access(4, False)
+        transactions = tiny.access(8, False)
+        assert transactions == [(8, False)]
+
+    def test_write_hit_marks_dirty(self, tiny):
+        tiny.access(0, False)
+        tiny.access(0, True)   # hit, now dirty
+        tiny.access(4, False)
+        transactions = tiny.access(8, False)
+        assert (0, True) in transactions
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=64, ways=8, line_bytes=64).sets
+
+    def test_hit_rate(self, tiny):
+        tiny.access(0, False)
+        tiny.access(0, False)
+        assert tiny.hit_rate == pytest.approx(0.5)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(st.integers(0, 63), st.booleans()), min_size=1, max_size=300))
+def test_occupancy_never_exceeds_ways(accesses):
+    cache = Cache(CacheConfig(size_bytes=16 * 64, ways=4, line_bytes=64))
+    for line, is_write in accesses:
+        cache.access(line, is_write)
+    for cache_set in cache._sets:
+        assert len(cache_set) <= cache.config.ways
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(st.integers(0, 31), st.booleans()), min_size=1, max_size=200))
+def test_fill_count_equals_misses(accesses):
+    cache = Cache(CacheConfig(size_bytes=8 * 64, ways=2, line_bytes=64))
+    fills = 0
+    for line, is_write in accesses:
+        fills += sum(1 for __, w in cache.access(line, is_write) if not w)
+    assert fills == cache.misses

@@ -1,0 +1,92 @@
+"""SoftMC host, command programs, and data patterns."""
+
+import numpy as np
+import pytest
+
+from repro.dram.commands import CommandKind
+from repro.dram.errors import TimingViolation
+from repro.softmc.patterns import ALL_PATTERNS, DataPattern
+from repro.softmc.program import Program
+
+
+class TestPatterns:
+    def test_four_patterns(self):
+        assert len(ALL_PATTERNS) == 4
+        assert {p.byte for p in ALL_PATTERNS} == {0xFF, 0x00, 0xAA, 0x55}
+
+    def test_inverses_are_involutions(self):
+        for pattern in ALL_PATTERNS:
+            assert pattern.inverse.inverse is pattern
+            assert pattern.inverse.byte == (~pattern.byte) & 0xFF
+
+    def test_fill(self):
+        arr = DataPattern.CHECKERBOARD.fill(16)
+        assert arr.dtype == np.uint8
+        assert np.all(arr == 0xAA)
+
+    def test_count_bitflips_zero_on_match(self):
+        arr = DataPattern.ALL_ONES.fill(64)
+        assert DataPattern.ALL_ONES.count_bitflips(arr) == 0
+
+    def test_count_bitflips_counts_each_bit(self):
+        arr = DataPattern.ALL_ZEROS.fill(8)
+        arr[3] = 0b0000_0101
+        assert DataPattern.ALL_ZEROS.count_bitflips(arr) == 2
+
+
+class TestProgram:
+    def test_waits_accumulate(self):
+        prog = Program()
+        prog.act(0, 1, wait_ps=3_000).pre(0, wait_ps=3_000).act(0, 2, wait_ps=32_000)
+        times = [cmd.time_ps for cmd in prog]
+        assert times == [0, 3_000, 6_000]
+        assert prog.cursor_ps == 38_000
+
+    def test_hira_builder_matches_manual(self):
+        manual = Program().act(0, 1, 3_000).pre(0, 3_000).act(0, 2, 32_000)
+        built = Program().hira(0, 1, 2, t1_ps=3_000, t2_ps=3_000, settle_ps=32_000)
+        assert list(manual) == list(built)
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ValueError):
+            Program().act(0, 1, wait_ps=-1)
+
+    def test_wait_instruction(self):
+        prog = Program().wait(10_000)
+        assert prog.cursor_ps == 10_000
+        assert len(prog) == 0
+
+    def test_wr_with_fill_meta(self):
+        prog = Program().wr(0, 0, wait_ps=1_500, fill=0xAA)
+        assert prog.commands[0].meta == {"fill": 0xAA}
+
+    def test_start_offset(self):
+        prog = Program(start_ps=5_000).act(0, 1, wait_ps=1_500)
+        assert prog.commands[0].time_ps == 5_000
+
+
+class TestHost:
+    def test_slot_spacing_enforced(self, host):
+        prog = host.program()
+        prog.act(0, 1, wait_ps=500)  # below the 1.5 ns slot
+        prog.pre(0, wait_ps=1_500)
+        with pytest.raises(TimingViolation):
+            host.run(prog)
+
+    def test_time_advances_across_programs(self, host):
+        t0 = host.time_ps
+        host.initialize(0, 3, DataPattern.ALL_ONES)
+        assert host.time_ps > t0
+
+    def test_compare_data_detects_mismatch(self, host):
+        host.initialize(0, 3, DataPattern.ALL_ONES)
+        assert host.compare_data(DataPattern.ALL_ZEROS, 0, 3) == 8 * host.chip.geometry.row_bits // 8
+
+    def test_activate_refresh_preserves_data(self, host):
+        host.initialize(0, 9, DataPattern.CHECKERBOARD)
+        host.activate_refresh(0, 9)
+        assert host.compare_data(DataPattern.CHECKERBOARD, 0, 9) == 0
+
+    def test_advance_rejects_negative(self, host):
+        with pytest.raises(ValueError):
+            host.advance(-5)

@@ -1,0 +1,46 @@
+"""Workload profiles and multiprogrammed mixes."""
+
+import pytest
+
+from repro.workloads.mixes import INTENSIVE_MPKI, make_mixes, mix_for
+from repro.workloads.spec import SPEC_PROFILES, profile_by_name
+
+
+class TestProfiles:
+    def test_all_profiles_valid(self):
+        for profile in SPEC_PROFILES:
+            assert profile.mpki > 0
+            assert 0 <= profile.row_locality < 1
+            assert profile.name.endswith("-like")
+
+    def test_intensity_spectrum(self):
+        mpkis = [p.mpki for p in SPEC_PROFILES]
+        assert max(mpkis) > 25  # mcf-class
+        assert min(mpkis) < 1  # compute-bound class
+
+    def test_profile_by_name(self):
+        assert profile_by_name("mcf-like").mpki == pytest.approx(33.0)
+        with pytest.raises(KeyError):
+            profile_by_name("nonexistent")
+
+
+class TestMixes:
+    def test_125_mixes_of_8(self):
+        mixes = make_mixes()
+        assert len(mixes) == 125
+        assert all(len(mix) == 8 for mix in mixes)
+
+    def test_deterministic(self):
+        assert [p.name for p in mix_for(7)] == [p.name for p in mix_for(7)]
+
+    def test_mixes_differ(self):
+        names = {tuple(p.name for p in mix_for(i)) for i in range(20)}
+        assert len(names) > 15
+
+    def test_intensive_pool_filtered(self):
+        for mix in make_mixes(count=10, intensive=True):
+            assert all(p.mpki >= INTENSIVE_MPKI for p in mix)
+
+    def test_full_pool_includes_light(self):
+        mixes = make_mixes(count=40, intensive=False)
+        assert any(p.mpki < INTENSIVE_MPKI for mix in mixes for p in mix)
