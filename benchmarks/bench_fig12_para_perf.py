@@ -9,9 +9,9 @@ HiRA-2 2.75×, HiRA-4 3.73×, HiRA-8 4.23×).
 """
 
 from repro.analysis.tables import format_table
-from repro.sim.config import SystemConfig
+from repro.orchestrator import Variant, axis
 
-from benchmarks.conftest import average_ws, emit, scale
+from benchmarks.conftest import emit, figure_sweep, scale, variants
 
 NRH_SWEEP = scale((1024, 256, 64), (1024, 512, 256, 128, 64))
 CONFIGS = (
@@ -21,25 +21,25 @@ CONFIGS = (
     ("HiRA-4", "hira", {"tref_slack_acts": 4}),
     ("HiRA-8", "hira", {"tref_slack_acts": 8}),
 )
+VARIANTS = variants(CONFIGS)
 
 
 def build_fig12():
-    baseline = average_ws(SystemConfig(capacity_gbit=8.0, refresh_mode="baseline"))
+    ref = figure_sweep(
+        "fig12-ref", axis("cfg", Variant.make("Baseline", refresh_mode="baseline"))
+    )
+    baseline = ref.mean_ws(cfg="Baseline")
+    result = figure_sweep(
+        "fig12",
+        axis("para_nrh", *(float(nrh) for nrh in NRH_SWEEP)),
+        axis("cfg", *VARIANTS),
+    )
     to_baseline = {}
     to_para = {}
     for nrh in NRH_SWEEP:
-        para_ws = None
-        for label, mode, extra in CONFIGS:
-            ws = average_ws(
-                SystemConfig(
-                    capacity_gbit=8.0,
-                    refresh_mode=mode,
-                    para_nrh=float(nrh),
-                    **extra,
-                )
-            )
-            if label == "PARA":
-                para_ws = ws
+        para_ws = result.mean_ws(para_nrh=float(nrh), cfg="PARA")
+        for label, __, __extra in CONFIGS:
+            ws = result.mean_ws(para_nrh=float(nrh), cfg=label)
             to_baseline[(nrh, label)] = ws / baseline
             to_para[(nrh, label)] = ws / para_ws
     labels = [label for label, __, __ in CONFIGS]

@@ -6,9 +6,9 @@ channel count (8.1% for HiRA-2 over the baseline at 8 channels, 32 Gbit).
 """
 
 from repro.analysis.tables import format_table
-from repro.sim.config import SystemConfig
+from repro.orchestrator import axis
 
-from benchmarks.conftest import average_ws, emit, scale
+from benchmarks.conftest import emit, figure_sweep, scale, variants
 
 CHANNELS = (1, 2, 4, 8)
 CAPACITIES = scale((32.0,), (2.0, 8.0, 32.0))
@@ -17,24 +17,22 @@ CONFIGS = (
     ("HiRA-2", "hira", {"tref_slack_acts": 2}),
     ("HiRA-4", "hira", {"tref_slack_acts": 4}),
 )
+VARIANTS = variants(CONFIGS)
 
 
 def build_fig13():
+    sweep = figure_sweep(
+        "fig13",
+        axis("capacity_gbit", *CAPACITIES),
+        axis("channels", *CHANNELS),
+        axis("cfg", *VARIANTS),
+    )
     results = {}
     for capacity in CAPACITIES:
-        ref = average_ws(
-            SystemConfig(capacity_gbit=capacity, channels=1, refresh_mode="baseline")
-        )
+        ref = sweep.mean_ws(capacity_gbit=capacity, channels=1, cfg="Baseline")
         for channels in CHANNELS:
-            for label, mode, extra in CONFIGS:
-                ws = average_ws(
-                    SystemConfig(
-                        capacity_gbit=capacity,
-                        channels=channels,
-                        refresh_mode=mode,
-                        **extra,
-                    )
-                )
+            for label, __, __extra in CONFIGS:
+                ws = sweep.mean_ws(capacity_gbit=capacity, channels=channels, cfg=label)
                 results[(capacity, channels, label)] = ws / ref
     labels = [label for label, __, __ in CONFIGS]
     rows = [

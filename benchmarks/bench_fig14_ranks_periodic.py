@@ -7,9 +7,9 @@ and HiRA alike — yet HiRA keeps a significant edge (12.1% at 8 ranks,
 """
 
 from repro.analysis.tables import format_table
-from repro.sim.config import SystemConfig
+from repro.orchestrator import axis
 
-from benchmarks.conftest import average_ws, emit, scale
+from benchmarks.conftest import emit, figure_sweep, scale, variants
 
 RANKS = (1, 2, 4, 8)
 CAPACITIES = scale((32.0,), (2.0, 8.0, 32.0))
@@ -18,25 +18,23 @@ CONFIGS = (
     ("HiRA-2", "hira", {"tref_slack_acts": 2}),
     ("HiRA-4", "hira", {"tref_slack_acts": 4}),
 )
+VARIANTS = variants(CONFIGS)
 
 
 def build_fig14():
+    sweep = figure_sweep(
+        "fig14",
+        axis("capacity_gbit", *CAPACITIES),
+        axis("ranks_per_channel", *RANKS),
+        axis("cfg", *VARIANTS),
+    )
     results = {}
     for capacity in CAPACITIES:
-        ref = average_ws(
-            SystemConfig(
-                capacity_gbit=capacity, ranks_per_channel=1, refresh_mode="baseline"
-            )
-        )
+        ref = sweep.mean_ws(capacity_gbit=capacity, ranks_per_channel=1, cfg="Baseline")
         for ranks in RANKS:
-            for label, mode, extra in CONFIGS:
-                ws = average_ws(
-                    SystemConfig(
-                        capacity_gbit=capacity,
-                        ranks_per_channel=ranks,
-                        refresh_mode=mode,
-                        **extra,
-                    )
+            for label, __, __extra in CONFIGS:
+                ws = sweep.mean_ws(
+                    capacity_gbit=capacity, ranks_per_channel=ranks, cfg=label
                 )
                 results[(capacity, ranks, label)] = ws / ref
     labels = [label for label, __, __ in CONFIGS]

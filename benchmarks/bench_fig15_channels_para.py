@@ -7,9 +7,9 @@ at low RowHammer thresholds.
 """
 
 from repro.analysis.tables import format_table
-from repro.sim.config import SystemConfig
+from repro.orchestrator import Variant, axis
 
-from benchmarks.conftest import average_ws, emit, scale
+from benchmarks.conftest import emit, figure_sweep, scale, variants
 
 CHANNELS = (1, 2, 4, 8)
 NRH_SWEEP = scale((1024, 64), (1024, 256, 64))
@@ -18,25 +18,25 @@ CONFIGS = (
     ("HiRA-2", "hira", {"tref_slack_acts": 2}),
     ("HiRA-4", "hira", {"tref_slack_acts": 4}),
 )
+VARIANTS = variants(CONFIGS)
 
 
 def build_fig15():
-    ref = average_ws(
-        SystemConfig(capacity_gbit=8.0, channels=1, refresh_mode="baseline")
+    ref_sweep = figure_sweep(
+        "fig15-ref", axis("cfg", Variant.make("Baseline", refresh_mode="baseline"))
+    )
+    ref = ref_sweep.mean_ws(cfg="Baseline")
+    sweep = figure_sweep(
+        "fig15",
+        axis("para_nrh", *(float(nrh) for nrh in NRH_SWEEP)),
+        axis("channels", *CHANNELS),
+        axis("cfg", *VARIANTS),
     )
     results = {}
     for nrh in NRH_SWEEP:
         for channels in CHANNELS:
-            for label, mode, extra in CONFIGS:
-                ws = average_ws(
-                    SystemConfig(
-                        capacity_gbit=8.0,
-                        channels=channels,
-                        refresh_mode=mode,
-                        para_nrh=float(nrh),
-                        **extra,
-                    )
-                )
+            for label, __, __extra in CONFIGS:
+                ws = sweep.mean_ws(para_nrh=float(nrh), channels=channels, cfg=label)
                 results[(nrh, channels, label)] = ws / ref
     labels = [label for label, __, __ in CONFIGS]
     rows = [

@@ -6,9 +6,9 @@ HiRA-2 and 42.9% for HiRA-4 at 8 ranks, NRH = 64).
 """
 
 from repro.analysis.tables import format_table
-from repro.sim.config import SystemConfig
+from repro.orchestrator import Variant, axis
 
-from benchmarks.conftest import average_ws, emit, scale
+from benchmarks.conftest import emit, figure_sweep, scale, variants
 
 RANKS = (1, 2, 4, 8)
 NRH_SWEEP = scale((1024, 64), (1024, 256, 64))
@@ -17,24 +17,26 @@ CONFIGS = (
     ("HiRA-2", "hira", {"tref_slack_acts": 2}),
     ("HiRA-4", "hira", {"tref_slack_acts": 4}),
 )
+VARIANTS = variants(CONFIGS)
 
 
 def build_fig16():
-    ref = average_ws(
-        SystemConfig(capacity_gbit=8.0, ranks_per_channel=1, refresh_mode="baseline")
+    ref_sweep = figure_sweep(
+        "fig16-ref", axis("cfg", Variant.make("Baseline", refresh_mode="baseline"))
+    )
+    ref = ref_sweep.mean_ws(cfg="Baseline")
+    sweep = figure_sweep(
+        "fig16",
+        axis("para_nrh", *(float(nrh) for nrh in NRH_SWEEP)),
+        axis("ranks_per_channel", *RANKS),
+        axis("cfg", *VARIANTS),
     )
     results = {}
     for nrh in NRH_SWEEP:
         for ranks in RANKS:
-            for label, mode, extra in CONFIGS:
-                ws = average_ws(
-                    SystemConfig(
-                        capacity_gbit=8.0,
-                        ranks_per_channel=ranks,
-                        refresh_mode=mode,
-                        para_nrh=float(nrh),
-                        **extra,
-                    )
+            for label, __, __extra in CONFIGS:
+                ws = sweep.mean_ws(
+                    para_nrh=float(nrh), ranks_per_channel=ranks, cfg=label
                 )
                 results[(nrh, ranks, label)] = ws / ref
     labels = [label for label, __, __ in CONFIGS]

@@ -10,7 +10,7 @@ from repro.analysis.tables import format_table
 from repro.experiments.coverage import coverage_distribution, tested_row_sample as row_sample
 from repro.experiments.modules import TESTED_MODULES, build_module_chip
 
-from benchmarks.conftest import emit, scale
+from benchmarks.conftest import WORKERS, emit, scale
 
 T_VALUES_NS = (1.5, 3.0, 4.5, 6.0)
 ROW_STRIDE = scale(192, 32)
@@ -28,6 +28,7 @@ def build_fig4():
             dist = coverage_distribution(
                 chip, 0, int(t1 * 1_000), int(t2 * 1_000),
                 tested_rows=rows, rows_a=rows_a,
+                workers=WORKERS,
             )
             grid[(t1, t2)] = dist
             table_rows.append(

@@ -9,9 +9,9 @@ HiRA-2 ≈ HiRA-4 ≈ HiRA-8.
 """
 
 from repro.analysis.tables import format_table
-from repro.sim.config import SystemConfig
+from repro.orchestrator import Variant, axis
 
-from benchmarks.conftest import average_ws, emit, scale
+from benchmarks.conftest import emit, figure_sweep, scale, variants
 
 CAPACITIES = scale((2.0, 8.0, 32.0, 128.0), (2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0))
 CONFIGS = (
@@ -21,20 +21,22 @@ CONFIGS = (
     ("HiRA-4", "hira", {"tref_slack_acts": 4}),
     ("HiRA-8", "hira", {"tref_slack_acts": 8}),
 )
+VARIANTS = variants(CONFIGS) + (Variant.make("No Refresh", refresh_mode="none"),)
 
 
 def build_fig9():
+    result = figure_sweep(
+        "fig9",
+        axis("capacity_gbit", *CAPACITIES),
+        axis("cfg", *VARIANTS),
+    )
     norm_to_ideal = {}
     norm_to_baseline = {}
     for capacity in CAPACITIES:
-        ideal = average_ws(SystemConfig(capacity_gbit=capacity, refresh_mode="none"))
-        baseline = None
-        for label, mode, extra in CONFIGS:
-            ws = average_ws(
-                SystemConfig(capacity_gbit=capacity, refresh_mode=mode, **extra)
-            )
-            if label == "Baseline":
-                baseline = ws
+        ideal = result.mean_ws(capacity_gbit=capacity, cfg="No Refresh")
+        baseline = result.mean_ws(capacity_gbit=capacity, cfg="Baseline")
+        for label, __, __extra in CONFIGS:
+            ws = result.mean_ws(capacity_gbit=capacity, cfg=label)
             norm_to_ideal[(capacity, label)] = ws / ideal
             norm_to_baseline[(capacity, label)] = ws / baseline
     labels = [label for label, __, __ in CONFIGS]

@@ -1,0 +1,92 @@
+"""Orchestrator benchmark: parallel sharding and warm-cache replay.
+
+Runs a representative Fig. 9 capacity-sweep slice three ways — serial,
+on a 4-worker pool, and replayed from a warm cache — and checks the
+orchestrator's contract: identical results on every path, warm-cache
+replay in under 10% of the cold time, and wall-clock speedup from
+parallelism whenever the host actually has spare cores.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+
+from repro.analysis.tables import format_table
+from repro.orchestrator import Sweep, Variant, axis, mix_workloads, result_to_dict, run_sweep
+from repro.orchestrator.pool import available_cores
+
+from benchmarks.conftest import RESULTS_DIR, emit, scale
+
+N_WORKERS = 4
+SWEEP = Sweep(
+    name="orchestrator-bench",
+    axes=(
+        axis("capacity_gbit", *scale((8.0, 32.0), (2.0, 8.0, 32.0, 128.0))),
+        axis(
+            "cfg",
+            Variant.make("Baseline", refresh_mode="baseline"),
+            Variant.make("HiRA-2", refresh_mode="hira", tref_slack_acts=2),
+        ),
+    ),
+    workloads=mix_workloads(scale(2, 4)),
+    instr_budget=scale(50_000, 200_000),
+)
+
+
+def build_orchestrator_bench():
+    cache_dir = RESULTS_DIR / ".orchestrator-bench-cache"
+    shutil.rmtree(cache_dir, ignore_errors=True)
+
+    t0 = time.perf_counter()
+    serial = run_sweep(SWEEP, workers=1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_sweep(SWEEP, workers=N_WORKERS, cache=cache_dir)
+    t_parallel = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = run_sweep(SWEEP, workers=N_WORKERS, cache=cache_dir)
+    t_warm = time.perf_counter() - t0
+
+    shutil.rmtree(cache_dir, ignore_errors=True)
+    return serial, parallel, warm, t_serial, t_parallel, t_warm
+
+
+def test_orchestrator_speedup(benchmark):
+    serial, parallel, warm, t_serial, t_parallel, t_warm = benchmark.pedantic(
+        build_orchestrator_bench, rounds=1, iterations=1
+    )
+    cores = available_cores()
+    table = format_table(
+        ["path", "wall time (s)", "points", "executed", "cached"],
+        [
+            ["serial (1 worker)", f"{t_serial:.2f}", len(serial), len(serial), 0],
+            [
+                f"parallel ({N_WORKERS} workers)",
+                f"{t_parallel:.2f}",
+                len(parallel),
+                parallel.cache_misses,
+                parallel.cache_hits,
+            ],
+            ["warm cache", f"{t_warm:.2f}", len(warm), warm.cache_misses, warm.cache_hits],
+        ],
+        title=f"Orchestrator: {SWEEP.size}-point Fig. 9 slice on {cores} cores "
+        f"(serial {t_serial:.2f}s → parallel {t_parallel:.2f}s → warm {t_warm:.2f}s)",
+    )
+    emit("orchestrator_speedup", table)
+
+    # Contract 1: execution strategy never changes results (bit-identical).
+    assert [result_to_dict(r) for r in serial.results] == [
+        result_to_dict(r) for r in parallel.results
+    ]
+    assert [result_to_dict(r) for r in serial.results] == [
+        result_to_dict(r) for r in warm.results
+    ]
+    # Contract 2: a warm cache replays the figure in <10% of the cold time.
+    assert warm.cache_hits == len(warm)
+    assert t_warm < 0.10 * t_parallel
+    # Contract 3: sharding pays for itself when cores exist for it.
+    if cores >= 2:
+        assert t_parallel < t_serial * 0.9

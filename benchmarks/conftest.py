@@ -15,6 +15,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.orchestrator import Sweep, SweepResult, Variant, axis, mix_workloads, run_sweep
 from repro.sim.config import SystemConfig
 from repro.sim.system import SimResult, System
 from repro.workloads.mixes import mix_for
@@ -22,6 +23,16 @@ from repro.workloads.mixes import mix_for
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Worker processes for orchestrated benches; None defers to the pool's
+#: default (REPRO_WORKERS env override, else available cores capped at 8).
+WORKERS = None
+
+#: On-disk sweep cache shared by all figure benches (REPRO_NO_CACHE=1 disables):
+#: re-running a figure with unchanged parameters replays cached SimResults.
+SWEEP_CACHE = (
+    None if os.environ.get("REPRO_NO_CACHE", "0") == "1" else RESULTS_DIR / ".sweep-cache"
+)
 
 
 def scale(quick, full):
@@ -98,6 +109,32 @@ def average_ws(config: SystemConfig, n_mixes: int = None, **run_kwargs) -> float
     for mix_id in range(n):
         total += run_config(config, mix_id, **run_kwargs).weighted_speedup
     return total / n
+
+
+def variants(configs) -> tuple[Variant, ...]:
+    """Map (label, refresh_mode, extra-overrides) triples to sweep Variants."""
+    return tuple(
+        Variant.make(label, refresh_mode=mode, **extra) for label, mode, extra in configs
+    )
+
+
+def figure_sweep(name: str, *axes, n_mixes: int = None, base: SystemConfig = None,
+                 instr_budget: int = None, max_cycles: int = None) -> SweepResult:
+    """Run one figure's grid through the orchestrator (parallel + cached).
+
+    Points are seeded exactly like the legacy hand-rolled loops
+    (``seed = 100 + mix_id``), so orchestrated figures reproduce the same
+    numbers the serial ``average_ws`` path produced.
+    """
+    sweep = Sweep(
+        name=name,
+        axes=tuple(axes),
+        workloads=mix_workloads(n_mixes or N_MIXES),
+        base=base or SystemConfig(),
+        instr_budget=instr_budget or INSTR_BUDGET,
+        max_cycles=max_cycles or MAX_CYCLES,
+    )
+    return run_sweep(sweep, workers=WORKERS, cache=SWEEP_CACHE)
 
 
 @pytest.fixture(scope="session")

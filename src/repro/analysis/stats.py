@@ -48,13 +48,18 @@ def summarize(values: Iterable[float]) -> BoxWhisker:
     if arr.size == 0:
         raise ValueError("cannot summarize an empty dataset")
     q1, median, q3 = np.percentile(arr, [25, 50, 75])
+    minimum = float(arr.min())
+    maximum = float(arr.max())
+    # Pairwise summation can leave the mean a few ULPs outside [min, max]
+    # (e.g. three identical values); clamp so summary invariants hold.
+    mean = min(max(float(arr.mean()), minimum), maximum)
     return BoxWhisker(
-        minimum=float(arr.min()),
+        minimum=minimum,
         q1=float(q1),
         median=float(median),
         q3=float(q3),
-        maximum=float(arr.max()),
-        mean=float(arr.mean()),
+        maximum=maximum,
+        mean=mean,
         count=int(arr.size),
     )
 

@@ -1,15 +1,18 @@
 """Command-line entry points for the reproduction.
 
-Three subcommands mirror the repository's main workflows:
+Four subcommands mirror the repository's main workflows:
 
 - ``characterize`` — run the §4 experiments on a tested module.
 - ``simulate`` — one cycle-level run of a refresh configuration.
+- ``sweep`` — an orchestrated parameter-grid sweep (parallel + cached).
 - ``security`` — print PARA's (revisited) configuration for a threshold.
 
 Usage::
 
     python -m repro.cli characterize --module C0
     python -m repro.cli simulate --capacity 128 --mode hira --slack 2
+    python -m repro.cli sweep --modes baseline,hira --capacities 8,32 \
+        --mixes 2 --workers 4 --cache-dir .sweep-cache
     python -m repro.cli security --nrh 128 --slack 4
 """
 
@@ -36,6 +39,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     coverage = coverage_distribution(
         chip, 0, chip.timing.hira_t1, chip.timing.hira_t2,
         tested_rows=rows, rows_a=rows[:: args.rows_a_step],
+        workers=args.workers,
     )
     victims = rows[:: max(1, len(rows) // args.victims)][: args.victims]
     thresholds = characterize_normalized_nrh(chip, 0, victims)
@@ -87,6 +91,68 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_list(text: str, convert) -> tuple:
+    return tuple(convert(part) for part in text.split(",") if part)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.orchestrator import Sweep, Variant, axis, mix_workloads, run_sweep
+    from repro.sim.config import SystemConfig
+
+    variants = []
+    for mode in _parse_list(args.modes, str):
+        if mode == "hira":
+            for slack in _parse_list(args.slacks, int):
+                variants.append(
+                    Variant.make(
+                        f"HiRA-{slack}", refresh_mode="hira", tref_slack_acts=slack
+                    )
+                )
+        else:
+            variants.append(Variant.make(mode, refresh_mode=mode))
+
+    axes = [axis("cfg", *variants)]
+    axes.append(axis("capacity_gbit", *_parse_list(args.capacities, float)))
+    if args.channels != "1":
+        axes.append(axis("channels", *_parse_list(args.channels, int)))
+    if args.ranks != "1":
+        axes.append(axis("ranks_per_channel", *_parse_list(args.ranks, int)))
+    if args.nrhs:
+        axes.append(axis("para_nrh", *_parse_list(args.nrhs, float)))
+
+    sweep = Sweep(
+        name=args.name,
+        axes=tuple(axes),
+        workloads=mix_workloads(args.mixes),
+        base=SystemConfig(),
+        instr_budget=args.instructions,
+        max_cycles=args.max_cycles,
+    )
+    cache = None if args.no_cache else args.cache_dir
+    print(f"sweep {args.name!r}: {sweep.size} points on {args.workers or 'auto'} workers")
+    result = run_sweep(sweep, workers=args.workers, cache=cache)
+
+    cells: dict[tuple, list] = {}
+    for point, res in result:
+        cell = tuple(c for c in point.coords if c[0] != "workload")
+        agg = cells.setdefault(cell, [0.0, 0.0, 0])
+        agg[0] += res.weighted_speedup
+        agg[1] += res.stat_total("reads_served")
+        agg[2] += 1
+    rows = [
+        [", ".join(f"{k}={v}" for k, v in cell), f"{ws / n:.3f}", f"{reads / n:.0f}"]
+        for cell, (ws, reads, n) in cells.items()
+    ]
+    print(format_table(
+        ["configuration", "weighted speedup", "reads served"],
+        rows,
+        title=f"sweep {args.name}: {len(result)} runs, "
+        f"{result.cache_hits} cached, {result.cache_misses} executed, "
+        f"{result.elapsed_s:.1f}s on {result.workers} workers",
+    ))
+    return 0
+
+
 def _cmd_security(args: argparse.Namespace) -> int:
     from repro.rowhammer.security import (
         k_factor,
@@ -123,6 +189,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stride", type=int, default=64)
     p.add_argument("--rows-a-step", type=int, default=12, dest="rows_a_step")
     p.add_argument("--victims", type=int, default=8)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process pool size for the coverage measurement")
     p.set_defaults(func=_cmd_characterize)
 
     p = sub.add_parser("simulate", help="one cycle-level simulation run")
@@ -136,6 +204,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--instructions", type=int, default=100_000)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("sweep", help="orchestrated parameter-grid sweep")
+    p.add_argument("--name", default="cli-sweep")
+    p.add_argument("--modes", default="baseline,hira",
+                   help="comma list of refresh modes (none,baseline,elastic,hira)")
+    p.add_argument("--slacks", default="2", help="HiRA-N slack values (for mode hira)")
+    p.add_argument("--capacities", default="8", help="chip capacities in Gbit")
+    p.add_argument("--channels", default="1")
+    p.add_argument("--ranks", default="1")
+    p.add_argument("--nrhs", default="", help="PARA RowHammer thresholds (optional)")
+    p.add_argument("--mixes", type=int, default=2, help="workload mixes per point")
+    p.add_argument("--instructions", type=int, default=100_000)
+    p.add_argument("--max-cycles", type=int, default=10_000_000, dest="max_cycles")
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--cache-dir", default=".sweep-cache", dest="cache_dir")
+    p.add_argument("--no-cache", action="store_true", dest="no_cache")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("security", help="PARA configuration for a threshold")
     p.add_argument("--nrh", type=float, default=128.0)

@@ -201,7 +201,7 @@ class HiraRefreshEngine(RefreshEngine):
                     mc.issue_pre(rank, bank_id, now)
                     return True
                 continue
-            if now < bank.next_act or not mc.faw_ok(rank, now):
+            if now < bank.next_act or not mc.faw_ok(rank, now) or not mc.trrd_ok(rank, now):
                 continue
             if now > deadline + mc.trc_c:
                 mc.stats.deadline_misses += 1

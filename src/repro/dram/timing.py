@@ -37,6 +37,7 @@ class TimingParams:
     - ``trefi``: interval between REF commands.
     - ``trefw``: refresh window (retention guarantee).
     - ``tfaw``: four-activation window per rank.
+    - ``trrd``: minimum ACT → ACT spacing between banks of a rank.
     - ``tcl`` / ``tbl``: column access latency / data burst duration, used by
       the system simulator to time read completion.
     - ``hira_t1`` / ``hira_t2``: HiRA's engineered ACT→PRE and PRE→ACT gaps.
@@ -51,6 +52,9 @@ class TimingParams:
     trefi: int = ns(7_800.0)
     trefw: int = ns(64_000_000.0)
     tfaw: int = ns(16.0)
+    #: JEDEC DDR4-2400 tRRD_S for 1 KiB pages (Table 3's row width),
+    #: applied rank-wide (the scheduler does not split by bank group).
+    trrd: int = ns(3.3)
     tcl: int = ns(14.25)
     tbl: int = ns(3.33)
     hira_t1: int = ns(3.0)
@@ -62,7 +66,7 @@ class TimingParams:
                 "tRC must be at least tRAS + tRP "
                 f"({self.trc} < {self.tras} + {self.trp})"
             )
-        for name in ("tck", "trcd", "tras", "trp", "trfc", "trefi", "trefw", "tfaw"):
+        for name in ("tck", "trcd", "tras", "trp", "trfc", "trefi", "trefw", "tfaw", "trrd"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
 
@@ -103,6 +107,7 @@ DDR5_4800 = TimingParams(
     trefi=ns(3_900.0),
     trefw=ns(32_000_000.0),
     tfaw=ns(13.333),
+    trrd=ns(3.3),
     tcl=ns(14.0),
     tbl=ns(3.33),
 )

@@ -101,6 +101,21 @@ class CoverageDistribution:
         return sum(self.coverages) / len(self.coverages)
 
 
+def _coverage_chunk(payload) -> list[float]:
+    """Worker-side Algorithm 1 over one chunk of RowA candidates.
+
+    Each worker receives its own pickled copy of the chip, so chunks are
+    independent; every Algorithm 1 trial re-initializes the rows it
+    touches, which keeps chunked results identical to a serial pass.
+    """
+    chip, bank, rows_a, tested_rows, t1_ps, t2_ps, patterns = payload
+    host = SoftMCHost(chip)
+    return [
+        algorithm1_coverage(host, bank, row_a, tested_rows, t1_ps, t2_ps, patterns)
+        for row_a in rows_a
+    ]
+
+
 def coverage_distribution(
     chip: DramChip,
     bank: int,
@@ -109,20 +124,49 @@ def coverage_distribution(
     tested_rows: list[int] | None = None,
     rows_a: list[int] | None = None,
     patterns: tuple[DataPattern, ...] = ALL_PATTERNS,
+    workers: int | None = 1,
 ) -> CoverageDistribution:
     """Coverage across tested rows for one (t1, t2) configuration.
 
     ``tested_rows`` is both the RowA population and the RowB candidate set
     (as in the paper); ``rows_a`` optionally restricts which RowAs are
-    measured (for subsampled benches).
+    measured (for subsampled benches).  ``workers`` > 1 shards the RowA
+    population across a process pool (order-preserving, same results);
+    ``None`` picks the pool's default (``REPRO_WORKERS`` / core count).
+
+    The measurement always runs against a private copy of the chip (the
+    parallel path does so inherently — workers receive pickled copies), so
+    the caller's chip state is identical afterwards regardless of
+    ``workers``; experiments composed after this one see the same device.
     """
-    host = SoftMCHost(chip)
+    if workers is None:
+        from repro.orchestrator.pool import default_workers
+
+        workers = default_workers()
     if tested_rows is None:
         tested_rows = tested_row_sample(chip.geometry)
     if rows_a is None:
         rows_a = tested_rows
-    coverages = tuple(
-        algorithm1_coverage(host, bank, row_a, tested_rows, t1_ps, t2_ps, patterns)
-        for row_a in rows_a
-    )
+    if workers > 1 and len(rows_a) > 1:
+        from repro.orchestrator.pool import parallel_map
+
+        shards = min(workers, len(rows_a))
+        step = -(-len(rows_a) // shards)
+        chunks = [list(rows_a[i : i + step]) for i in range(0, len(rows_a), step)]
+        chunk_results = parallel_map(
+            _coverage_chunk,
+            [(chip, bank, chunk, tested_rows, t1_ps, t2_ps, patterns) for chunk in chunks],
+            workers=shards,
+        )
+        coverages = tuple(value for values in chunk_results for value in values)
+    else:
+        # Match the parallel path's isolation (workers get pickled copies):
+        # measure against a private copy so the caller's chip is untouched.
+        import copy
+
+        host = SoftMCHost(copy.deepcopy(chip))
+        coverages = tuple(
+            algorithm1_coverage(host, bank, row_a, tested_rows, t1_ps, t2_ps, patterns)
+            for row_a in rows_a
+        )
     return CoverageDistribution(t1_ps=t1_ps, t2_ps=t2_ps, coverages=coverages)

@@ -1,0 +1,53 @@
+"""Parallel experiment orchestration: declarative sweeps over configurations.
+
+Every figure of the paper is a *sweep*: a parameter grid over
+:class:`~repro.sim.config.SystemConfig` crossed with a set of workloads,
+each point producing one :class:`~repro.sim.system.SimResult`.  This
+package turns that shape into infrastructure:
+
+- :mod:`repro.orchestrator.sweep` — the declarative :class:`Sweep` API
+  (axes, variants, workloads) with stable per-point config hashing.
+- :mod:`repro.orchestrator.runner` — :func:`run_sweep`: shards points
+  across a multiprocessing worker pool with deterministic per-point seeds,
+  so serial and parallel execution produce bit-identical results.
+- :mod:`repro.orchestrator.cache` — an on-disk result cache keyed by
+  config hash; re-running a figure with unchanged parameters is instant.
+- :mod:`repro.orchestrator.pool` — :func:`parallel_map`, the generic
+  order-preserving helper the chip-characterization experiments use.
+
+Benchmarks and the ``repro sweep`` CLI subcommand are thin layers over
+these primitives; future scaling work (more workloads, larger grids,
+distributed backends) plugs in here.
+"""
+
+from repro.orchestrator.cache import ResultCache, result_from_dict, result_to_dict
+from repro.orchestrator.hashing import config_hash
+from repro.orchestrator.pool import parallel_map
+from repro.orchestrator.runner import SweepResult, execute_point, run_sweep
+from repro.orchestrator.sweep import (
+    Sweep,
+    SweepPoint,
+    Variant,
+    Workload,
+    axis,
+    mix_workloads,
+    profile_workloads,
+)
+
+__all__ = [
+    "ResultCache",
+    "Sweep",
+    "SweepPoint",
+    "SweepResult",
+    "Variant",
+    "Workload",
+    "axis",
+    "config_hash",
+    "execute_point",
+    "mix_workloads",
+    "parallel_map",
+    "profile_workloads",
+    "result_from_dict",
+    "result_to_dict",
+    "run_sweep",
+]

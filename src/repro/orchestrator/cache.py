@@ -1,0 +1,81 @@
+"""On-disk result cache keyed by sweep-point content hash.
+
+Entries are small JSON files (``<root>/<key[:2]>/<key>.json``) holding a
+serialized :class:`SimResult` plus the point's human-readable coordinates
+for debuggability.  Writes are atomic (tmp + rename) so concurrent sweep
+processes sharing a cache directory never observe torn entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.sim.controller import ControllerStats
+from repro.sim.system import SimResult
+
+
+def result_to_dict(result: SimResult) -> dict:
+    """A JSON-safe representation that round-trips bit-exactly."""
+    return {
+        "cycles": result.cycles,
+        "ipcs": result.ipcs,
+        "alone_ipcs": result.alone_ipcs,
+        "controller_stats": [asdict(s) for s in result.controller_stats],
+        "instructions": result.instructions,
+        "reads": result.reads,
+        "writes": result.writes,
+        "finished": result.finished,
+        "meta": result.meta,
+    }
+
+
+def result_from_dict(data: dict) -> SimResult:
+    return SimResult(
+        cycles=data["cycles"],
+        ipcs=list(data["ipcs"]),
+        alone_ipcs=list(data["alone_ipcs"]),
+        controller_stats=[ControllerStats(**s) for s in data["controller_stats"]],
+        instructions=list(data["instructions"]),
+        reads=data["reads"],
+        writes=data["writes"],
+        finished=data["finished"],
+        meta=dict(data["meta"]),
+    )
+
+
+class ResultCache:
+    """A directory of cached simulation results, keyed by content hash."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> SimResult | None:
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result_from_dict(data["result"])
+
+    def put(self, key: str, result: SimResult, describe: dict | None = None) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = {"key": key, "describe": describe or {}, "result": result_to_dict(result)}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(body, separators=(",", ":")))
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for __ in self.root.glob("*/*.json"))

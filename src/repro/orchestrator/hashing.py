@@ -1,0 +1,78 @@
+"""Stable content hashing for sweep points.
+
+A sweep point's cache key must be identical across processes, Python
+versions, and dict orderings, and must change whenever any simulation
+input changes.  Everything that feeds a run — the full ``SystemConfig``
+(including derived geometry and timing), the trace profiles, the seed, and
+the budgets — is canonicalized to a JSON-stable structure and hashed.
+
+``SCHEMA_VERSION`` is part of the digest: bump it whenever the simulator's
+semantics change in a way that invalidates previously cached results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+from pathlib import Path
+
+#: Bump to invalidate every on-disk cache entry (simulator semantics changed).
+SCHEMA_VERSION = 1
+
+
+@functools.lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """A digest of the whole ``repro`` package source.
+
+    Folded into every sweep point's cache key so that *any* code change
+    invalidates previously cached results — nobody has to remember to bump
+    ``SCHEMA_VERSION`` after editing the simulator.  Conservative on
+    purpose: a comment-only edit also invalidates, which costs one cold
+    re-run rather than ever replaying stale figures.
+    """
+    root = Path(__file__).resolve().parent.parent  # src/repro
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def canonical(obj):
+    """Convert ``obj`` to a JSON-serializable structure with stable ordering.
+
+    Dataclasses become ``{"__type__": name, **fields}`` so that two
+    different dataclasses with identical field values hash differently;
+    mappings are emitted with sorted keys (via ``json.dumps(sort_keys=...)``).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if isinstance(obj, (str, bool)) or obj is None:
+        return obj
+    if isinstance(obj, int):
+        return int(obj)
+    if isinstance(obj, float):
+        return float(obj)
+    # numpy scalars and other numeric types reduce via item()/float().
+    if hasattr(obj, "item"):
+        return canonical(obj.item())
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for hashing")
+
+
+def config_hash(payload) -> str:
+    """A 20-hex-digit digest of an arbitrary canonicalizable payload."""
+    body = json.dumps(
+        {"schema": SCHEMA_VERSION, "payload": canonical(payload)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:20]

@@ -1,0 +1,48 @@
+"""Generic order-preserving parallel mapping over a worker pool.
+
+Used by :func:`repro.orchestrator.runner.run_sweep` and by the
+chip-characterization experiments.  The callable must be picklable (a
+module-level function); results are returned in input order regardless of
+completion order, so parallelism never changes observable output.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Sequence
+
+
+def available_cores() -> int:
+    """CPU cores actually available to this process."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (0/unset: available cores, ≤8)."""
+    env = int(os.environ.get("REPRO_WORKERS", "0") or "0")
+    if env > 0:
+        return env
+    return max(1, min(8, available_cores()))
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork
+        return multiprocessing.get_context("spawn")
+
+
+def parallel_map(fn: Callable, items: Sequence, workers: int | None = None) -> list:
+    """``[fn(x) for x in items]``, sharded across ``workers`` processes."""
+    items = list(items)
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    ctx = _pool_context()
+    with ctx.Pool(processes=min(workers, len(items))) as pool:
+        return pool.map(fn, items)

@@ -1,0 +1,139 @@
+"""Sweep execution: cache lookup, worker-pool sharding, result assembly.
+
+Each :class:`SweepPoint` is an independent simulation with its own
+explicit seed, so the runner can shard points across processes freely:
+serial and parallel execution are bit-identical by construction, and
+results always come back in grid order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.pool import _pool_context, default_workers
+from repro.orchestrator.sweep import Sweep, SweepPoint
+from repro.sim.system import SimResult, System
+
+
+def execute_point(point: SweepPoint) -> SimResult:
+    """Run one sweep point to completion (the worker-side entry point)."""
+    system = System(
+        point.config,
+        list(point.profiles),
+        seed=point.seed,
+        instr_budget=point.instr_budget,
+    )
+    result = system.run(max_cycles=point.max_cycles)
+    result.meta["sweep"] = point.sweep
+    result.meta["coords"] = dict(point.coords)
+    result.meta["seed"] = point.seed
+    return result
+
+
+def _execute_indexed(payload: tuple[int, SweepPoint]) -> tuple[int, SimResult]:
+    index, point = payload
+    return index, execute_point(point)
+
+
+@dataclass
+class SweepResult:
+    """All results of one sweep run, in grid order, with run telemetry."""
+
+    sweep: Sweep
+    points: tuple[SweepPoint, ...]
+    results: tuple[SimResult, ...]
+    cache_hits: int
+    cache_misses: int
+    workers: int
+    elapsed_s: float
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[tuple[SweepPoint, SimResult]]:
+        return iter(zip(self.points, self.results))
+
+    def select(self, **coords) -> list[tuple[SweepPoint, SimResult]]:
+        """Points whose coordinates match every given ``axis=value``."""
+        return [(p, r) for p, r in self if p.matches(**coords)]
+
+    def mean_ws(self, **coords) -> float:
+        """Mean weighted speedup across matching points (usually a mix
+        average for one grid cell)."""
+        picked = self.select(**coords)
+        if not picked:
+            raise KeyError(f"no sweep points match {coords!r}")
+        return sum(r.weighted_speedup for __, r in picked) / len(picked)
+
+    def mean_stat(self, name: str, **coords) -> float:
+        picked = self.select(**coords)
+        if not picked:
+            raise KeyError(f"no sweep points match {coords!r}")
+        return sum(r.stat_total(name) for __, r in picked) / len(picked)
+
+
+def run_sweep(
+    sweep: Sweep,
+    workers: int | None = None,
+    cache: ResultCache | str | Path | None = None,
+) -> SweepResult:
+    """Execute every point of ``sweep``, using the cache when possible.
+
+    ``workers`` ≤ 1 runs in-process; larger values shard cache misses
+    across a process pool.  ``None`` picks :func:`default_workers`.
+    """
+    start = time.perf_counter()
+    if workers is None:
+        workers = default_workers()
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+
+    points = sweep.expand()
+    results: list[SimResult | None] = [None] * len(points)
+    todo: list[int] = []
+    keys: list[str] = [point.key for point in points]
+    # Snapshot the (possibly reused) cache's counters to report deltas.
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
+    if cache is not None:
+        for i, point in enumerate(points):
+            hit = cache.get(keys[i])
+            if hit is not None:
+                # Entries are content-addressed and may have been written by
+                # a different sweep; restamp the telemetry for this one.
+                hit.meta["sweep"] = point.sweep
+                hit.meta["coords"] = dict(point.coords)
+                hit.meta["seed"] = point.seed
+                results[i] = hit
+            else:
+                todo.append(i)
+    else:
+        todo = list(range(len(points)))
+
+    if todo:
+        if workers > 1 and len(todo) > 1:
+            ctx = _pool_context()
+            payloads = [(i, points[i]) for i in todo]
+            with ctx.Pool(processes=min(workers, len(todo))) as pool:
+                for index, result in pool.imap_unordered(_execute_indexed, payloads):
+                    results[index] = result
+        else:
+            for i in todo:
+                results[i] = execute_point(points[i])
+        if cache is not None:
+            for i in todo:
+                cache.put(keys[i], results[i], describe=dict(points[i].coords))
+
+    return SweepResult(
+        sweep=sweep,
+        points=points,
+        results=tuple(results),
+        cache_hits=(cache.hits - hits_before) if cache is not None else 0,
+        cache_misses=(cache.misses - misses_before) if cache is not None else len(todo),
+        workers=workers,
+        elapsed_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,201 @@
+"""The declarative sweep API: axes × variants × workloads → points.
+
+A :class:`Sweep` is a parameter grid over :class:`SystemConfig` crossed
+with a set of workloads.  Axis values are either plain scalars (applied as
+``SystemConfig.variant(axis_name=value)``) or :class:`Variant` bundles (a
+labelled set of overrides, for axes like "Baseline vs HiRA-2" that change
+several knobs at once).  :meth:`Sweep.expand` materializes the full grid
+as :class:`SweepPoint` objects, each carrying everything a worker needs to
+run it — config, resolved trace profiles, an explicit deterministic seed,
+and budgets — plus a stable content hash used as its cache key.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.orchestrator.hashing import config_hash, source_fingerprint
+from repro.sim.config import SystemConfig
+from repro.sim.trace import TraceProfile
+
+
+@dataclass(frozen=True)
+class Variant:
+    """A labelled bundle of ``SystemConfig`` overrides (one axis value)."""
+
+    label: str
+    overrides: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, label: str, **overrides) -> "Variant":
+        return cls(label, tuple(sorted(overrides.items())))
+
+
+def axis(name: str, *values) -> tuple[str, tuple]:
+    """One sweep axis: a name and its values (scalars or Variants)."""
+    if not values:
+        raise ValueError(f"axis {name!r} needs at least one value")
+    return (name, tuple(values))
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One workload slot of a sweep: a trace mix plus its simulation seed.
+
+    Either ``profiles`` is an explicit tuple of trace profiles, or
+    ``mix_id`` names one of the paper's random multiprogrammed mixes
+    (resolved against the point's core count at expansion time, exactly as
+    the hand-rolled benchmark loops did).
+    """
+
+    label: str
+    seed: int
+    mix_id: int | None = None
+    profiles: tuple[TraceProfile, ...] | None = None
+    mix_seed: int = 2022
+    intensive: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.mix_id is None) == (self.profiles is None):
+            raise ValueError("exactly one of mix_id / profiles must be set")
+
+    def resolve(self, cores: int) -> tuple[TraceProfile, ...]:
+        if self.profiles is not None:
+            return self.profiles
+        from repro.workloads.mixes import mix_for
+
+        return tuple(
+            mix_for(
+                self.mix_id, cores=cores, seed=self.mix_seed, intensive=self.intensive
+            )
+        )
+
+
+def mix_workloads(
+    count: int, seed_base: int = 100, mix_seed: int = 2022, intensive: bool = True
+) -> tuple[Workload, ...]:
+    """The first ``count`` random mixes, seeded like the legacy bench loops
+    (run ``mix_id`` with simulation seed ``seed_base + mix_id``)."""
+    return tuple(
+        Workload(
+            label=f"mix{i}",
+            seed=seed_base + i,
+            mix_id=i,
+            mix_seed=mix_seed,
+            intensive=intensive,
+        )
+        for i in range(count)
+    )
+
+
+def profile_workloads(
+    profiles: Sequence[TraceProfile], count: int, seed_base: int = 300
+) -> tuple[Workload, ...]:
+    """``count`` seed-replicates of one fixed profile list (ablation style)."""
+    return tuple(
+        Workload(label=f"seed{s}", seed=seed_base + s, profiles=tuple(profiles))
+        for s in range(count)
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully resolved simulation to run."""
+
+    sweep: str
+    coords: tuple[tuple[str, Any], ...]
+    config: SystemConfig
+    profiles: tuple[TraceProfile, ...]
+    seed: int
+    instr_budget: int
+    max_cycles: int
+
+    def coord(self, name: str):
+        for key, value in self.coords:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def matches(self, **coords) -> bool:
+        table = dict(self.coords)
+        return all(table.get(k) == v for k, v in coords.items())
+
+    @property
+    def key(self) -> str:
+        """Stable cache key: everything that determines the SimResult,
+        including a fingerprint of the simulator source itself."""
+        return config_hash(
+            {
+                "code": source_fingerprint(),
+                "config": self.config,
+                "profiles": self.profiles,
+                "seed": self.seed,
+                "instr_budget": self.instr_budget,
+                "max_cycles": self.max_cycles,
+            }
+        )
+
+    @property
+    def label(self) -> str:
+        return ",".join(f"{k}={v}" for k, v in self.coords)
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A named parameter grid: expand() yields one point per cell."""
+
+    name: str
+    axes: tuple[tuple[str, tuple], ...]
+    workloads: tuple[Workload, ...]
+    base: SystemConfig = field(default_factory=SystemConfig)
+    instr_budget: int = 100_000
+    max_cycles: int = 10_000_000
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ValueError("a sweep needs at least one workload")
+        seen: set[str] = set()
+        for name, values in self.axes:
+            if name in seen:
+                raise ValueError(f"duplicate axis {name!r}")
+            seen.add(name)
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+
+    @property
+    def size(self) -> int:
+        n = len(self.workloads)
+        for __, values in self.axes:
+            n *= len(values)
+        return n
+
+    def expand(self) -> tuple[SweepPoint, ...]:
+        """Materialize the grid in deterministic (row-major) order."""
+        points: list[SweepPoint] = []
+        value_lists: Iterable = [values for __, values in self.axes]
+        for combo in itertools.product(*value_lists):
+            overrides: dict[str, Any] = {}
+            coords: list[tuple[str, Any]] = []
+            for (axis_name, __), value in zip(self.axes, combo):
+                if isinstance(value, Variant):
+                    overrides.update(dict(value.overrides))
+                    coords.append((axis_name, value.label))
+                else:
+                    overrides[axis_name] = value
+                    coords.append((axis_name, value))
+            config = self.base.variant(**overrides) if overrides else self.base
+            for workload in self.workloads:
+                points.append(
+                    SweepPoint(
+                        sweep=self.name,
+                        coords=tuple(coords) + (("workload", workload.label),),
+                        config=config,
+                        profiles=workload.resolve(config.cores),
+                        seed=workload.seed,
+                        instr_budget=self.instr_budget,
+                        max_cycles=self.max_cycles,
+                    )
+                )
+        return tuple(points)

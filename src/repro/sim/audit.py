@@ -1,0 +1,265 @@
+"""Command-stream auditing: check DRAM timing invariants after the fact.
+
+A :class:`CommandAuditor` attaches to one :class:`MemoryController` and
+records the logical command stream (ACT/PRE/REF plus HiRA compound
+operations) as the scheduler issues it.  :meth:`violations` then replays
+the stream in cycle order and checks the invariants the paper's
+parallelization must never break:
+
+- **tRC** — back-to-back ACTs to the same bank, *except* the engineered
+  second activation inside a HiRA operation (that off-spec gap is the
+  paper's contribution; everything around it must still be nominal).
+- **tRRD** — ACT-to-ACT spacing across banks of a rank.
+- **tFAW** — at most four ACTs per rank in any tFAW window (HiRA's two
+  ACTs both count, §5.2).
+- **tRP / tRAS** — ACT after PRE, PRE after ACT, outside HiRA internals.
+- **tRFC** — no command to a rank while a REF is in flight, and REF only
+  with all banks precharged.
+- **Refresh deadline** — REF cadence never exceeds DDR4's nine-tREFI
+  postponement debit limit (baseline and elastic engines).
+
+The auditor is pure observation: attaching one never changes scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Maximum REF-to-REF gap DDR4 allows (8 postponed commands ⇒ 9 × tREFI).
+REF_DEBIT_LIMIT = 9
+
+
+@dataclass(frozen=True, slots=True)
+class CommandRecord:
+    """One audited command: ``kind`` ∈ {ACT, PRE, REF}.
+
+    ``tag`` marks scheduling context: ``"demand"`` for normal commands,
+    ``"hira2"`` for the engineered second ACT of a HiRA operation,
+    ``"hira-pre"`` for its internal PRE, ``"refresh"`` for refresh ACTs,
+    and ``"close"`` for the deferred PRE closing a refresh operation.
+    """
+
+    cycle: int
+    kind: str
+    rank: int
+    bank: int | None = None
+    row: int | None = None
+    tag: str = "demand"
+
+
+@dataclass
+class _BankTrack:
+    open_row: int | None = None
+    last_act: int = -1 << 60
+    last_pre: int = -1 << 60
+
+
+class CommandAuditor:
+    """Records one controller's command stream and checks timing invariants."""
+
+    def __init__(self, mc):
+        self.mc = mc
+        mc.auditor = self
+        self.trc_c = mc.trc_c
+        self.trp_c = mc.trp_c
+        self.tras_c = mc.tras_c
+        self.trrd_c = mc.trrd_c
+        self.tfaw_c = mc.tfaw_c
+        self.trfc_c = mc.trfc_c
+        self.trefi_c = mc.trefi_c
+        self.hira_gap_c = mc.hira_gap_c
+        self.refresh_mode = mc.config.refresh_mode
+        self.n_ranks = mc.config.ranks_per_channel
+        self.records: list[CommandRecord] = []
+
+    # ------------------------------------------------------------------
+    # Hooks called by the controller's issue primitives
+    # ------------------------------------------------------------------
+    def on_act(self, now: int, rank: int, bank: int, row: int) -> None:
+        self.records.append(CommandRecord(now, "ACT", rank, bank, row))
+
+    def on_pre(self, now: int, rank: int, bank: int) -> None:
+        self.records.append(CommandRecord(now, "PRE", rank, bank))
+
+    def on_ref(self, now: int, rank: int) -> None:
+        self.records.append(CommandRecord(now, "REF", rank))
+
+    def on_solo_refresh(self, now: int, rank: int, bank: int, close: int) -> None:
+        self.records.append(CommandRecord(now, "ACT", rank, bank, tag="refresh"))
+        self.records.append(CommandRecord(close, "PRE", rank, bank, tag="close"))
+
+    def on_hira_op(
+        self,
+        now: int,
+        rank: int,
+        bank: int,
+        refresh_row: int | None,
+        target_row: int | None,
+        eff: int,
+        close: int | None = None,
+    ) -> None:
+        """One ACT-PRE-ACT HiRA sequence (refresh-access or refresh-refresh)."""
+        self.records.append(CommandRecord(now, "ACT", rank, bank, refresh_row, "refresh"))
+        self.records.append(CommandRecord(now, "PRE", rank, bank, tag="hira-pre"))
+        self.records.append(CommandRecord(eff, "ACT", rank, bank, target_row, "hira2"))
+        if close is not None:
+            self.records.append(CommandRecord(close, "PRE", rank, bank, tag="close"))
+
+    # ------------------------------------------------------------------
+    # Invariant replay
+    # ------------------------------------------------------------------
+    def violations(self) -> list[str]:
+        """Replay the stream in cycle order; one message per violation."""
+        problems: list[str] = []
+        banks: dict[tuple[int, int], _BankTrack] = {}
+        rank_acts: dict[int, list[int]] = {}
+        ref_busy_until: dict[int, int] = {}
+        last_ref: dict[int, int] = {}
+
+        def bank_of(record: CommandRecord) -> _BankTrack:
+            return banks.setdefault((record.rank, record.bank), _BankTrack())
+
+        for rec in sorted(self.records, key=lambda r: r.cycle):
+            if rec.kind == "ACT":
+                track = bank_of(rec)
+                if rec.cycle < ref_busy_until.get(rec.rank, -1):
+                    problems.append(
+                        f"@{rec.cycle}: ACT to rank {rec.rank} during REF "
+                        f"(busy until {ref_busy_until[rec.rank]})"
+                    )
+                if rec.tag == "hira2":
+                    gap = rec.cycle - track.last_act
+                    if gap != self.hira_gap_c:
+                        problems.append(
+                            f"@{rec.cycle}: HiRA second ACT gap {gap} != "
+                            f"t1+t2 ({self.hira_gap_c})"
+                        )
+                else:
+                    if rec.cycle - track.last_act < self.trc_c:
+                        problems.append(
+                            f"@{rec.cycle}: tRC violation on bank "
+                            f"({rec.rank},{rec.bank}): ACT "
+                            f"{rec.cycle - track.last_act} < {self.trc_c} "
+                            f"cycles after previous ACT"
+                        )
+                    if rec.cycle - track.last_pre < self.trp_c:
+                        problems.append(
+                            f"@{rec.cycle}: tRP violation on bank "
+                            f"({rec.rank},{rec.bank}): ACT "
+                            f"{rec.cycle - track.last_pre} < {self.trp_c} "
+                            f"cycles after PRE"
+                        )
+                    # tRRD: the engineered hira2 gap is checked exactly above;
+                    # every other ACT must keep nominal any-bank spacing.
+                    acts = rank_acts.setdefault(rec.rank, [])
+                    if acts and rec.cycle - acts[-1] < self.trrd_c:
+                        problems.append(
+                            f"@{rec.cycle}: tRRD violation on rank {rec.rank}: "
+                            f"ACT {rec.cycle - acts[-1]} < {self.trrd_c} "
+                            f"cycles after previous ACT"
+                        )
+                acts = rank_acts.setdefault(rec.rank, [])
+                acts.append(rec.cycle)
+                if len(acts) > 5:
+                    acts.pop(0)
+                # tFAW bounds the FIFTH activation: any five consecutive
+                # ACTs to a rank must span at least tFAW.
+                if len(acts) == 5 and acts[-1] - acts[0] < self.tfaw_c:
+                    problems.append(
+                        f"@{rec.cycle}: tFAW violation on rank {rec.rank}: "
+                        f"5 ACTs within {acts[-1] - acts[0]} < {self.tfaw_c} cycles"
+                    )
+                track.last_act = rec.cycle
+                track.open_row = rec.row if rec.row is not None else -1
+            elif rec.kind == "PRE":
+                track = bank_of(rec)
+                if rec.tag != "hira-pre" and rec.cycle - track.last_act < self.tras_c:
+                    # HiRA's internal PRE interrupts charge restoration by
+                    # design; every other PRE must wait out tRAS.
+                    problems.append(
+                        f"@{rec.cycle}: tRAS violation on bank "
+                        f"({rec.rank},{rec.bank}): PRE "
+                        f"{rec.cycle - track.last_act} < {self.tras_c} "
+                        f"cycles after ACT"
+                    )
+                track.last_pre = rec.cycle
+                track.open_row = None
+            elif rec.kind == "REF":
+                open_banks = [
+                    key
+                    for key, track in banks.items()
+                    if key[0] == rec.rank and track.open_row is not None
+                ]
+                if open_banks:
+                    problems.append(
+                        f"@{rec.cycle}: REF to rank {rec.rank} with open banks "
+                        f"{open_banks}"
+                    )
+                last_pre = max(
+                    (t.last_pre for k, t in banks.items() if k[0] == rec.rank),
+                    default=-1 << 60,
+                )
+                if rec.cycle - last_pre < self.trp_c:
+                    problems.append(
+                        f"@{rec.cycle}: REF to rank {rec.rank} only "
+                        f"{rec.cycle - last_pre} < {self.trp_c} cycles after PRE"
+                    )
+                previous = last_ref.get(rec.rank)
+                if (
+                    previous is not None
+                    and rec.cycle - previous > REF_DEBIT_LIMIT * self.trefi_c + self.trfc_c
+                ):
+                    problems.append(
+                        f"@{rec.cycle}: refresh deadline violation on rank "
+                        f"{rec.rank}: {rec.cycle - previous} cycles since last "
+                        f"REF (limit {REF_DEBIT_LIMIT} x tREFI)"
+                    )
+                last_ref[rec.rank] = rec.cycle
+                ref_busy_until[rec.rank] = rec.cycle + self.trfc_c
+                for key, track in banks.items():
+                    if key[0] == rec.rank:
+                        track.open_row = None
+                        track.last_pre = max(track.last_pre, rec.cycle)
+
+        # Endpoint refresh-deadline checks for REF-based engines: the gap
+        # rule above only fires between two REFs, so a rank that is never
+        # (or no longer) refreshed must be flagged from the stream bounds.
+        if self.refresh_mode in ("baseline", "elastic") and self.records:
+            end = max(r.cycle for r in self.records)
+            limit = REF_DEBIT_LIMIT * self.trefi_c + self.trfc_c
+            for rank in range(self.n_ranks):
+                first = min(
+                    (r.cycle for r in self.records if r.kind == "REF" and r.rank == rank),
+                    default=None,
+                )
+                if first is None:
+                    if end > limit:
+                        problems.append(
+                            f"rank {rank}: no REF issued in {end} cycles "
+                            f"(limit {REF_DEBIT_LIMIT} x tREFI)"
+                        )
+                    continue
+                if first > limit:
+                    problems.append(
+                        f"rank {rank}: first REF only at {first} cycles "
+                        f"(limit {REF_DEBIT_LIMIT} x tREFI)"
+                    )
+                if end - last_ref[rank] > limit:
+                    problems.append(
+                        f"rank {rank}: no REF in the last {end - last_ref[rank]} "
+                        f"cycles of the stream (limit {REF_DEBIT_LIMIT} x tREFI)"
+                    )
+        return problems
+
+    def check(self) -> None:
+        """Raise ``AssertionError`` with every violation, if any."""
+        problems = self.violations()
+        if problems:
+            raise AssertionError(
+                f"{len(problems)} timing violations:\n" + "\n".join(problems[:20])
+            )
+
+
+def attach_auditors(system) -> list[CommandAuditor]:
+    """One auditor per memory controller of a built ``System``."""
+    return [CommandAuditor(mc) for mc in system.controllers]

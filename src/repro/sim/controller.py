@@ -31,6 +31,11 @@ class _RankState:
     faw: deque = field(default_factory=deque)
     ref_due: int = 0
     busy_until: int = 0
+    #: Earliest cycle the next ACT to *any* bank of this rank may issue (tRRD).
+    next_act_any: int = 0
+    #: Earliest cycle a rank-level REF may issue: every bank precharged for
+    #: tRP, including the deferred closes of in-flight refresh operations.
+    ref_ready: int = 0
 
 
 @dataclass
@@ -111,7 +116,7 @@ class RefreshEngine:
                     mc.issue_pre(rank, bank_id, now)
                     return True
                 continue
-            if now >= bank.next_act and mc.faw_ok(rank, now):
+            if now >= bank.next_act and mc.faw_ok(rank, now) and mc.trrd_ok(rank, now):
                 del self._preventive[i]
                 mc.issue_solo_refresh(rank, bank_id, now)
                 return True
@@ -124,7 +129,10 @@ class RefreshEngine:
         soonest = _FAR_FUTURE
         for rank, bank_id, __ in self._preventive:
             bank = mc.bank(rank, bank_id)
-            gate = bank.next_pre if bank.open_row is not None else bank.next_act
+            if bank.open_row is not None:
+                gate = bank.next_pre
+            else:
+                gate = mc.act_allowed_at(rank, bank)
             gate = max(gate, mc.ranks[rank].busy_until)
             soonest = min(soonest, gate)
         return max(soonest, now + 1) if soonest != _FAR_FUTURE else _FAR_FUTURE
@@ -164,21 +172,32 @@ class BaselineRefreshEngine(RefreshEngine):
         for rank_id, rank in enumerate(mc.ranks):
             if now < rank.ref_due or now < rank.busy_until:
                 continue
+            # Drain the rank: defer new demand to it so sustained traffic
+            # cannot keep reopening banks (or pushing tRP-readiness away)
+            # faster than the tRAS-gated precharges close them — without
+            # this, a saturated rank would starve REF forever.
+            mc.blocked_ranks.add(rank_id)
             # All banks must be precharged before REF.
             open_bank = mc.first_open_bank(rank_id)
+            if open_bank is None and now < rank.ref_ready:
+                continue  # tRP still elapsing; the rank stays blocked
             if open_bank is not None:
                 bank = mc.bank(rank_id, open_bank)
                 if now >= bank.next_pre:
                     mc.issue_pre(rank_id, open_bank, now)
                     return True
                 continue
+            mc.blocked_ranks.discard(rank_id)
             mc.issue_ref(rank_id, now)
             rank.ref_due += mc.trefi_c
             return True
         return False
 
     def next_deadline(self, now: int) -> int:
-        ref = min((rank.ref_due for rank in self.mc.ranks), default=_FAR_FUTURE)
+        ref = min(
+            (max(rank.ref_due, rank.ref_ready) for rank in self.mc.ranks),
+            default=_FAR_FUTURE,
+        )
         return min(ref, self._preventive_deadline(now))
 
 
@@ -199,6 +218,7 @@ class MemoryController:
         self.tcl_c = c(tp.tcl)
         self.tbl_c = c(tp.tbl)
         self.tfaw_c = c(tp.tfaw)
+        self.trrd_c = c(tp.trrd)
         self.hira_gap_c = c(tp.hira_t1 + tp.hira_t2)
 
         geom = config.geometry
@@ -210,6 +230,9 @@ class MemoryController:
         ]
         self.read_q: list[Request] = []
         self.write_q: list[Request] = []
+        #: Ranks a refresh engine is draining for an imminent REF; demand
+        #: to these ranks is deferred so the drain cannot be starved.
+        self.blocked_ranks: set[int] = set()
         self.bus_next = 0
         self.data_bus_next = 0
         self._draining_writes = False
@@ -218,6 +241,9 @@ class MemoryController:
         self._scheduled_closes: list[tuple[int, int, int]] = []
         self.stats = ControllerStats()
         self.completions: list[tuple[int, Request]] = []
+        #: Optional :class:`repro.sim.audit.CommandAuditor` observing the
+        #: logical command stream (attach via ``CommandAuditor(mc)``).
+        self.auditor = None
         self.engine = engine
         engine.attach(self)
 
@@ -257,11 +283,22 @@ class MemoryController:
         faw = self.ranks[rank].faw
         return faw[0] + self.tfaw_c if len(faw) >= 4 else 0
 
+    def trrd_ok(self, rank: int, now: int) -> bool:
+        """Whether a new ACT to the rank respects tRRD (any-bank spacing)."""
+        return now >= self.ranks[rank].next_act_any
+
+    def act_allowed_at(self, rank: int, bank: "_BankState") -> int:
+        """Earliest cycle the bank's next ACT satisfies every rank gate."""
+        rank_state = self.ranks[rank]
+        return max(bank.next_act, self.faw_next(rank), rank_state.next_act_any)
+
     def _record_act(self, rank: int, now: int) -> None:
-        faw = self.ranks[rank].faw
+        rank_state = self.ranks[rank]
+        faw = rank_state.faw
         faw.append(now)
         while len(faw) > 4:
             faw.popleft()
+        rank_state.next_act_any = max(rank_state.next_act_any, now + self.trrd_c)
 
     # ------------------------------------------------------------------
     # Command issue primitives
@@ -270,8 +307,12 @@ class MemoryController:
         bank = self.bank(rank, bank_id)
         bank.open_row = None
         bank.next_act = max(bank.next_act, now + self.trp_c)
+        rank_state = self.ranks[rank]
+        rank_state.ref_ready = max(rank_state.ref_ready, now + self.trp_c)
         self.bus_next = now + 1
         self.stats.pres += 1
+        if self.auditor is not None:
+            self.auditor.on_pre(now, rank, bank_id)
 
     def issue_act(self, rank: int, bank_id: int, row: int, now: int) -> None:
         bank = self.bank(rank, bank_id)
@@ -283,6 +324,8 @@ class MemoryController:
         self.bus_next = now + 1
         self.stats.acts += 1
         self.stats.row_misses += 1
+        if self.auditor is not None:
+            self.auditor.on_act(now, rank, bank_id, row)
 
     def issue_hira_act(self, rank: int, bank_id: int, refresh_row: int, target_row: int, now: int) -> None:
         """ACT(refresh_row), PRE, ACT(target_row): refresh-access HiRA.
@@ -305,6 +348,8 @@ class MemoryController:
         self.stats.acts += 2
         self.stats.pres += 1
         self.stats.hira_access_parallelized += 1
+        if self.auditor is not None:
+            self.auditor.on_hira_op(now, rank, bank_id, refresh_row, target_row, eff)
 
     def issue_hira_refresh_pair(self, rank: int, bank_id: int, now: int) -> None:
         """Refresh two rows with one HiRA operation (refresh-refresh).
@@ -317,6 +362,8 @@ class MemoryController:
         bank.open_row = None
         bank.next_act = close + self.trp_c
         bank.next_pre = close
+        rank_state = self.ranks[rank]
+        rank_state.ref_ready = max(rank_state.ref_ready, close + self.trp_c)
         self._record_act(rank, now)
         self._record_act(rank, now + self.hira_gap_c)
         self.bus_next = now + 3
@@ -324,6 +371,10 @@ class MemoryController:
         self.stats.acts += 2
         self.stats.pres += 2
         self.stats.hira_refresh_parallelized += 1
+        if self.auditor is not None:
+            self.auditor.on_hira_op(
+                now, rank, bank_id, None, None, now + self.hira_gap_c, close=close
+            )
 
     def issue_solo_refresh(self, rank: int, bank_id: int, now: int) -> None:
         """Refresh one row with a nominal ACT + PRE pair."""
@@ -332,12 +383,16 @@ class MemoryController:
         bank.open_row = None
         bank.next_act = close + self.trp_c
         bank.next_pre = close
+        rank_state = self.ranks[rank]
+        rank_state.ref_ready = max(rank_state.ref_ready, close + self.trp_c)
         self._record_act(rank, now)
         self.bus_next = now + 1
         self._scheduled_closes.append((close, rank, bank_id))
         self.stats.acts += 1
         self.stats.pres += 1
         self.stats.solo_refreshes += 1
+        if self.auditor is not None:
+            self.auditor.on_solo_refresh(now, rank, bank_id, close)
 
     def issue_ref(self, rank_id: int, now: int) -> None:
         """Rank-level REF: the whole rank is unavailable for tRFC."""
@@ -348,6 +403,8 @@ class MemoryController:
             bank.next_act = max(bank.next_act, now + self.trfc_c)
         self.bus_next = now + 1
         self.stats.refs += 1
+        if self.auditor is not None:
+            self.auditor.on_ref(now, rank_id)
 
     # ------------------------------------------------------------------
     # Request intake
@@ -398,9 +455,12 @@ class MemoryController:
     def _schedule_queue(self, queue: list[Request], now: int) -> bool:
         if not queue:
             return False
+        blocked = self.blocked_ranks
         # First pass: FR — oldest ready row hit.
         for idx, req in enumerate(queue):
             rank, bank_id = req.addr.rank, req.addr.bank
+            if rank in blocked:
+                continue
             bank = self.bank(rank, bank_id)
             if (
                 bank.open_row == req.addr.row
@@ -413,11 +473,11 @@ class MemoryController:
         # Second pass: FCFS — advance the oldest request's bank state.
         for req in queue:
             rank, bank_id = req.addr.rank, req.addr.bank
-            if not self.rank_available(rank, now):
+            if rank in blocked or not self.rank_available(rank, now):
                 continue
             bank = self.bank(rank, bank_id)
             if bank.open_row is None:
-                if now >= bank.next_act and self.faw_ok(rank, now):
+                if now >= bank.next_act and self.faw_ok(rank, now) and self.trrd_ok(rank, now):
                     refresh_row = None
                     if self.faw_ok_double(rank, now):
                         refresh_row = self.engine.on_act(req, now)
@@ -475,7 +535,7 @@ class MemoryController:
                 if bank.open_row == req.addr.row:
                     candidates.append(bank.next_rdwr)
                 elif bank.open_row is None:
-                    candidates.append(max(bank.next_act, self.faw_next(rank)))
+                    candidates.append(self.act_allowed_at(rank, bank))
                 else:
                     candidates.append(bank.next_pre)
         future = [c for c in candidates if c > now]

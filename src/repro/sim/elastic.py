@@ -26,6 +26,9 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
     def attach(self, mc) -> None:
         super().attach(mc)
         self._debt = [0] * len(mc.ranks)
+        #: Ranks that have started a REF sequence (precharge + tRP wait);
+        #: once committed, newly arriving reads no longer cancel it.
+        self._committed = [False] * len(mc.ranks)
 
     def _rank_must_refresh(self, rank_id: int, now: int) -> bool:
         rank = self.mc.ranks[rank_id]
@@ -34,8 +37,9 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
         overdue = (now - rank.ref_due) // self.mc.trefi_c
         if self._debt[rank_id] + overdue >= self.max_postponed:
             return True
-        # Only refresh early when the channel has no demand work queued.
-        return self.mc.pending_requests == 0
+        # Refresh early when no latency-critical demand is queued: reads
+        # stall cores, writes drain lazily and can absorb a REF.
+        return not self.mc.read_q
 
     def urgent(self, now: int) -> bool:
         if self._service_preventive(now):
@@ -44,9 +48,13 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
         for rank_id, rank in enumerate(mc.ranks):
             if now < rank.busy_until or now < rank.ref_due:
                 continue
-            if not self._rank_must_refresh(rank_id, now):
+            if not self._committed[rank_id] and not self._rank_must_refresh(rank_id, now):
                 # Postpone: account the debt once per elapsed interval.
                 continue
+            # Commit and block demand to the rank: newly arriving reads can
+            # no longer cancel the drain or push tRP-readiness away.
+            self._committed[rank_id] = True
+            mc.blocked_ranks.add(rank_id)
             open_bank = mc.first_open_bank(rank_id)
             if open_bank is not None:
                 bank = mc.bank(rank_id, open_bank)
@@ -54,6 +62,10 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
                     mc.issue_pre(rank_id, open_bank, now)
                     return True
                 continue
+            if now < rank.ref_ready:
+                continue  # tRP still elapsing; the rank stays blocked
+            self._committed[rank_id] = False
+            mc.blocked_ranks.discard(rank_id)
             mc.issue_ref(rank_id, now)
             missed = max(0, (now - rank.ref_due) // mc.trefi_c)
             self._debt[rank_id] = max(0, self._debt[rank_id] + missed - 1)
@@ -65,9 +77,18 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
         """Wake at the postponement limit rather than every tREFI."""
         soonest = _FAR_FUTURE
         for rank_id, rank in enumerate(self.mc.ranks):
+            if self._committed[rank_id]:
+                # Mid-drain: wake when the next drain step can proceed
+                # (a bank precharge or the tRP-after-PRE REF gate).
+                gate = max(rank.busy_until, rank.ref_ready, now + 1)
+                open_bank = self.mc.first_open_bank(rank_id)
+                if open_bank is not None:
+                    gate = max(gate, self.mc.bank(rank_id, open_bank).next_pre)
+                soonest = min(soonest, gate)
+                continue
             budget_left = self.max_postponed - self._debt[rank_id]
             deadline = rank.ref_due + max(0, budget_left) * self.mc.trefi_c
-            idle_opportunity = rank.ref_due if self.mc.pending_requests == 0 else deadline
+            idle_opportunity = rank.ref_due if not self.mc.read_q else deadline
             soonest = min(soonest, idle_opportunity)
         return min(soonest, self._preventive_deadline(now))
 

@@ -1,0 +1,96 @@
+"""Determinism guarantees the parallel orchestrator depends on.
+
+Every ``SimResult``-producing entry point takes an explicit seed, and two
+runs with equal seeds must be *bit-identical* — otherwise sharding sweep
+points across worker processes (or replaying them from the on-disk cache)
+would change results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestrator import (
+    Sweep,
+    Variant,
+    axis,
+    execute_point,
+    mix_workloads,
+    result_to_dict,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.system import System
+from repro.sim.trace import TraceProfile
+from repro.workloads.mixes import mix_for
+
+
+def mix(cores: int = 8):
+    return [TraceProfile("d%d" % i, mpki=20.0, row_locality=0.75) for i in range(cores)]
+
+
+CONFIGS = [
+    pytest.param(SystemConfig(refresh_mode="baseline"), id="baseline"),
+    pytest.param(SystemConfig(refresh_mode="elastic"), id="elastic"),
+    pytest.param(
+        SystemConfig(refresh_mode="hira", tref_slack_acts=4, para_nrh=128.0),
+        id="hira-para",
+    ),
+]
+
+
+class TestBitIdenticalRuns:
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_same_seed_same_bits(self, config):
+        a = System(config, mix(), seed=11, instr_budget=8_000).run()
+        b = System(config, mix(), seed=11, instr_budget=8_000).run()
+        # Full structural equality, floats included — not approx.
+        assert result_to_dict(a) == result_to_dict(b)
+
+    def test_different_seed_differs(self):
+        config = SystemConfig(refresh_mode="baseline")
+        a = System(config, mix(), seed=11, instr_budget=8_000).run()
+        b = System(config, mix(), seed=12, instr_budget=8_000).run()
+        assert result_to_dict(a) != result_to_dict(b)
+
+    def test_mix_generation_is_seeded(self):
+        assert [p.name for p in mix_for(3)] == [p.name for p in mix_for(3)]
+        assert [p.name for p in mix_for(3, seed=99)] == [
+            p.name for p in mix_for(3, seed=99)
+        ]
+
+    def test_sweep_points_are_self_contained(self):
+        """A point re-executed from its own payload reproduces itself."""
+        sweep = Sweep(
+            name="det",
+            axes=(axis("cfg", Variant.make("HiRA-2", refresh_mode="hira", tref_slack_acts=2)),),
+            workloads=mix_workloads(1),
+            instr_budget=6_000,
+        )
+        point = sweep.expand()[0]
+        assert result_to_dict(execute_point(point)) == result_to_dict(execute_point(point))
+
+
+class TestExplicitSeedPlumbing:
+    def test_system_requires_no_hidden_state(self):
+        """Seed is an explicit System argument with no global RNG fallback."""
+        import inspect
+
+        params = inspect.signature(System.__init__).parameters
+        assert "seed" in params
+
+    def test_cli_simulate_exposes_seed(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["simulate", "--seed", "7", "--instructions", "1000"]
+        )
+        assert args.seed == 7
+
+    def test_benchmark_helpers_thread_seeds(self):
+        """conftest helpers derive per-run seeds from explicit bases."""
+        import inspect
+
+        import benchmarks.conftest as bc
+
+        assert "seed_base" in inspect.signature(bc.run_config).parameters
+        assert "seed" in inspect.signature(bc.run_profiles).parameters

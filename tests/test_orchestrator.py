@@ -1,0 +1,194 @@
+"""The sweep orchestrator: expansion, hashing, caching, parallel equality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestrator import (
+    ResultCache,
+    Sweep,
+    Variant,
+    Workload,
+    axis,
+    config_hash,
+    mix_workloads,
+    parallel_map,
+    profile_workloads,
+    result_from_dict,
+    result_to_dict,
+    run_sweep,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.trace import TraceProfile
+
+
+def tiny_profiles(cores: int = 8) -> list[TraceProfile]:
+    return [TraceProfile("t%d" % i, mpki=18.0, row_locality=0.7) for i in range(cores)]
+
+
+def tiny_sweep(instr: int = 6_000, **kwargs) -> Sweep:
+    defaults = dict(
+        name="tiny",
+        axes=(
+            axis(
+                "cfg",
+                Variant.make("Baseline", refresh_mode="baseline"),
+                Variant.make("HiRA-2", refresh_mode="hira", tref_slack_acts=2),
+            ),
+        ),
+        workloads=profile_workloads(tiny_profiles(), count=2),
+        instr_budget=instr,
+        max_cycles=2_000_000,
+    )
+    defaults.update(kwargs)
+    return Sweep(**defaults)
+
+
+class TestSweepExpansion:
+    def test_grid_size_and_order(self):
+        sweep = Sweep(
+            name="grid",
+            axes=(
+                axis("capacity_gbit", 2.0, 8.0, 32.0),
+                axis("cfg", Variant.make("Baseline", refresh_mode="baseline")),
+            ),
+            workloads=mix_workloads(2),
+        )
+        points = sweep.expand()
+        assert sweep.size == len(points) == 3 * 1 * 2
+        # Row-major: capacity varies slowest, workload fastest.
+        assert [p.coord("capacity_gbit") for p in points] == [2.0, 2.0, 8.0, 8.0, 32.0, 32.0]
+        assert [p.coord("workload") for p in points] == ["mix0", "mix1"] * 3
+
+    def test_variant_overrides_apply(self):
+        sweep = tiny_sweep()
+        points = sweep.expand()
+        byname = {p.coord("cfg"): p for p in points}
+        assert byname["Baseline"].config.refresh_mode == "baseline"
+        assert byname["HiRA-2"].config.refresh_mode == "hira"
+        assert byname["HiRA-2"].config.tref_slack_acts == 2
+
+    def test_mix_workload_seeds_match_legacy_loops(self):
+        # The legacy bench loops ran mix_id with seed 100 + mix_id.
+        for i, workload in enumerate(mix_workloads(3)):
+            assert workload.seed == 100 + i
+            assert workload.mix_id == i
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            Workload(label="bad", seed=1)  # neither mix nor profiles
+        with pytest.raises(ValueError):
+            Workload(label="bad", seed=1, mix_id=0, profiles=tuple(tiny_profiles()))
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep(
+                name="dup",
+                axes=(axis("capacity_gbit", 2.0), axis("capacity_gbit", 8.0)),
+                workloads=mix_workloads(1),
+            )
+
+
+class TestConfigHashing:
+    def test_equal_configs_equal_hash(self):
+        a = SystemConfig(capacity_gbit=32.0, refresh_mode="hira")
+        b = SystemConfig(capacity_gbit=32.0, refresh_mode="hira")
+        assert a is not b
+        assert config_hash(a) == config_hash(b)
+
+    def test_any_knob_changes_hash(self):
+        base = SystemConfig()
+        assert config_hash(base) != config_hash(base.variant(refresh_mode="hira"))
+        assert config_hash(base) != config_hash(base.variant(tref_slack_acts=4))
+        assert config_hash(base) != config_hash(base.variant(capacity_gbit=32.0))
+
+    def test_hash_is_stable_across_sessions(self):
+        # A pinned digest: changing SystemConfig fields, the canonical
+        # serialization, or SCHEMA_VERSION invalidates on-disk caches, and
+        # this test documents that event.  Update the literal only when
+        # the cache format is intentionally broken.
+        assert config_hash({"probe": 1}) == "1c651a1a70bd3b11cbb6"
+
+    def test_point_keys_unique_across_grid(self):
+        points = tiny_sweep().expand()
+        keys = [p.key for p in points]
+        assert len(set(keys)) == len(keys)
+
+
+class TestCache:
+    def test_cold_then_warm(self, tmp_path):
+        sweep = tiny_sweep()
+        cold = run_sweep(sweep, workers=1, cache=tmp_path / "c")
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == len(cold)
+        warm = run_sweep(sweep, workers=1, cache=tmp_path / "c")
+        assert warm.cache_hits == len(warm)
+        for (pa, ra), (pb, rb) in zip(cold, warm):
+            assert pa.key == pb.key
+            assert result_to_dict(ra) == result_to_dict(rb)
+
+    def test_result_roundtrip_bit_exact(self, tmp_path):
+        sweep = tiny_sweep()
+        result = run_sweep(sweep, workers=1).results[0]
+        assert result_to_dict(result_from_dict(result_to_dict(result))) == result_to_dict(result)
+
+    def test_changed_budget_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        run_sweep(tiny_sweep(), workers=1, cache=cache)
+        changed = run_sweep(tiny_sweep(instr=7_000), workers=1, cache=cache)
+        assert changed.cache_hits == 0
+
+
+class TestParallelEquality:
+    def test_serial_and_parallel_bit_identical(self):
+        sweep = tiny_sweep()
+        serial = run_sweep(sweep, workers=1)
+        parallel = run_sweep(sweep, workers=4)
+        assert parallel.workers == 4
+        assert [result_to_dict(r) for r in serial.results] == [
+            result_to_dict(r) for r in parallel.results
+        ]
+
+    def test_parallel_map_preserves_order(self):
+        assert parallel_map(_square, list(range(20)), workers=3) == [
+            n * n for n in range(20)
+        ]
+
+    def test_mean_ws_filters(self):
+        result = run_sweep(tiny_sweep(), workers=1)
+        per_cfg = [result.mean_ws(cfg=label) for label in ("Baseline", "HiRA-2")]
+        assert all(ws > 0 for ws in per_cfg)
+        with pytest.raises(KeyError):
+            result.mean_ws(cfg="nope")
+        one = result.select(cfg="Baseline", workload="seed0")
+        assert len(one) == 1
+
+
+def _square(n: int) -> int:
+    return n * n
+
+
+class TestExperimentParallelism:
+    def test_coverage_workers_match_serial(self):
+        from repro.chip.chip_model import DramChip
+        from repro.chip.design import make_design
+        from repro.chip.vendor import VendorClass
+        from repro.experiments.coverage import coverage_distribution, tested_row_sample
+
+        design = make_design(
+            name="orch-test",
+            vendor=VendorClass.HYNIX_LIKE,
+            subarrays_per_bank=8,
+            rows_per_subarray=64,
+            design_seed=11,
+        )
+        rows = tested_row_sample(DramChip(design, chip_seed=2).geometry, chunk=64, stride=16)
+        serial = coverage_distribution(
+            DramChip(design, chip_seed=2), 0, 3_000, 3_000,
+            tested_rows=rows, rows_a=rows[::4], workers=1,
+        )
+        sharded = coverage_distribution(
+            DramChip(design, chip_seed=2), 0, 3_000, 3_000,
+            tested_rows=rows, rows_a=rows[::4], workers=3,
+        )
+        assert serial.coverages == sharded.coverages

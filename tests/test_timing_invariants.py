@@ -1,0 +1,201 @@
+"""Property-style audits: no engine may break DRAM timing invariants.
+
+Each test builds a system with a :class:`CommandAuditor` on every channel,
+drives it with randomized traces, and asserts the recorded command stream
+holds tRC / tRRD / tFAW / tRP / tRAS / tRFC and the refresh-deadline
+rules.  This is the guard rail for the paper's Case-1/Case-2
+parallelization: HiRA may only violate tRC *inside* its own engineered
+ACT-PRE-ACT sequence, never anywhere else.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.audit import CommandAuditor, attach_auditors
+from repro.sim.config import SystemConfig
+from repro.sim.system import System
+from repro.sim.trace import TraceProfile
+from repro.workloads.mixes import mix_for
+
+
+def random_mix(seed: int, cores: int = 8) -> list[TraceProfile]:
+    """A randomized (but seeded) trace mix spanning intensity regimes."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    return [
+        TraceProfile(
+            name=f"r{seed}-{i}",
+            mpki=float(rng.uniform(2.0, 40.0)),
+            row_locality=float(rng.uniform(0.3, 0.95)),
+            read_fraction=float(rng.uniform(0.5, 0.9)),
+            working_set_rows=int(rng.integers(256, 8192)),
+        )
+        for i in range(cores)
+    ]
+
+
+def run_audited(config: SystemConfig, mix, seed: int, instr: int = 12_000):
+    system = System(config, mix, seed=seed, instr_budget=instr)
+    auditors = attach_auditors(system)
+    result = system.run(max_cycles=3_000_000)
+    assert result.finished
+    return result, auditors
+
+
+def assert_clean(auditors) -> None:
+    problems = [p for a in auditors for p in a.violations()]
+    assert problems == [], "\n".join(problems[:10])
+
+
+ENGINE_CONFIGS = [
+    pytest.param(SystemConfig(refresh_mode="none"), id="none"),
+    pytest.param(SystemConfig(refresh_mode="baseline"), id="baseline"),
+    pytest.param(SystemConfig(refresh_mode="elastic"), id="elastic"),
+    pytest.param(SystemConfig(refresh_mode="hira", tref_slack_acts=2), id="hira-2"),
+    pytest.param(SystemConfig(refresh_mode="hira", tref_slack_acts=8), id="hira-8"),
+    pytest.param(
+        SystemConfig(refresh_mode="baseline", para_nrh=64.0), id="baseline-para64"
+    ),
+    pytest.param(SystemConfig(refresh_mode="hira", para_nrh=64.0), id="hira-para64"),
+    pytest.param(SystemConfig(refresh_mode="none", para_nrh=128.0), id="none-para128"),
+]
+
+
+class TestEnginesHoldInvariants:
+    @pytest.mark.parametrize("config", ENGINE_CONFIGS)
+    @pytest.mark.parametrize("trace_seed", [7, 23])
+    def test_randomized_traces(self, config, trace_seed):
+        __, auditors = run_audited(config, random_mix(trace_seed), seed=trace_seed)
+        assert_clean(auditors)
+
+    def test_spec_mix(self):
+        config = SystemConfig(refresh_mode="hira", tref_slack_acts=4)
+        __, auditors = run_audited(config, mix_for(2), seed=42)
+        assert_clean(auditors)
+
+    def test_multi_rank_multi_channel(self):
+        config = SystemConfig(
+            refresh_mode="hira", channels=2, ranks_per_channel=2, tref_slack_acts=4
+        )
+        __, auditors = run_audited(config, random_mix(5), seed=5)
+        assert len(auditors) == 2
+        assert_clean(auditors)
+
+    def test_high_capacity_refresh_pressure(self):
+        config = SystemConfig(refresh_mode="hira", capacity_gbit=128.0)
+        __, auditors = run_audited(config, random_mix(9), seed=9)
+        assert_clean(auditors)
+
+
+class TestRefreshProgress:
+    """The deadline side: engines must refresh, not just avoid violations."""
+
+    def test_baseline_ref_survives_saturating_demand(self):
+        # Round-robin row misses keep every bank busy; the REF drain must
+        # still win (it defers demand per rank) or rows silently decay.
+        mix = [
+            TraceProfile(
+                "miss", mpki=45.0, row_locality=0.05, read_fraction=0.9,
+                working_set_rows=16384,
+            )
+        ] * 8
+        for mode in ("baseline", "elastic"):
+            config = SystemConfig(refresh_mode=mode)
+            system = System(config, mix, seed=4, instr_budget=40_000)
+            auditors = attach_auditors(system)
+            result = system.run(max_cycles=6_000_000)
+            trefi_c = auditors[0].trefi_c
+            elapsed_trefis = result.cycles / trefi_c
+            assert result.stat_total("refs") >= int(elapsed_trefis) - 1, mode
+            assert_clean(auditors)
+
+    def test_auditor_flags_missing_refs(self):
+        config = SystemConfig(refresh_mode="baseline")
+        system = System(config, random_mix(1), seed=1, instr_budget=2_000)
+        auditor = CommandAuditor(system.controllers[0])
+        # A long command stream with no REF at all (the starved case).
+        span = 10 * auditor.trefi_c
+        auditor.on_act(0, 0, 0, 1)
+        auditor.on_pre(auditor.tras_c, 0, 0)
+        auditor.on_act(span, 0, 0, 2)
+        problems = auditor.violations()
+        assert any("no REF" in p for p in problems)
+
+    def test_baseline_ref_cadence(self):
+        config = SystemConfig(refresh_mode="baseline")
+        result, auditors = run_audited(config, random_mix(3), seed=3, instr=30_000)
+        mc = None  # auditors carry the controller
+        refs = result.stat_total("refs")
+        expected = result.cycles / auditors[0].trefi_c
+        assert refs >= int(expected) - 1
+
+    def test_hira_meets_deadlines_with_slack(self):
+        config = SystemConfig(refresh_mode="hira", tref_slack_acts=4)
+        result, auditors = run_audited(config, random_mix(11), seed=11, instr=30_000)
+        assert result.stat_total("deadline_misses") == 0
+        assert (
+            result.stat_total("solo_refreshes")
+            + result.stat_total("hira_access_parallelized")
+            + result.stat_total("hira_refresh_parallelized")
+            > 0
+        )
+
+    def test_hira_refreshes_at_generated_rate(self):
+        config = SystemConfig(refresh_mode="hira", tref_slack_acts=4)
+        system = System(config, random_mix(13), seed=13, instr_budget=30_000)
+        result = system.run(max_cycles=3_000_000)
+        engine = system.controllers[0].engine
+        generated = result.stat_total("periodic_generated")
+        performed = (
+            result.stat_total("solo_refreshes")
+            + result.stat_total("hira_access_parallelized")
+            + 2 * result.stat_total("hira_refresh_parallelized")
+        )
+        # Everything generated is either performed or still pending within
+        # its slack window.
+        assert performed + engine.pending_periodic() + engine.pending_preventive() >= generated
+
+
+class TestAuditorMechanics:
+    def test_detects_planted_trc_violation(self):
+        config = SystemConfig(refresh_mode="none")
+        system = System(config, random_mix(1), seed=1, instr_budget=2_000)
+        auditor = CommandAuditor(system.controllers[0])
+        auditor.on_act(1000, 0, 0, 7)
+        auditor.on_act(1010, 0, 0, 9)  # same bank, far below tRC
+        auditor.on_act(1012, 0, 1, 3)  # other bank, below tRRD
+        problems = auditor.violations()
+        assert any("tRC" in p for p in problems)
+        assert any("tRRD" in p for p in problems)
+
+    def test_detects_planted_tfaw_violation(self):
+        config = SystemConfig(refresh_mode="none")
+        system = System(config, random_mix(1), seed=1, instr_budget=2_000)
+        mc = system.controllers[0]
+        auditor = CommandAuditor(mc)
+        for i in range(5):  # five ACTs, tRRD-spaced, inside one tFAW window
+            auditor.on_act(1000 + i * mc.trrd_c, 0, i, 3)
+        problems = auditor.violations()
+        assert any("tFAW" in p for p in problems)
+
+    def test_detects_ref_during_restore(self):
+        config = SystemConfig(refresh_mode="baseline")
+        system = System(config, random_mix(1), seed=1, instr_budget=2_000)
+        mc = system.controllers[0]
+        auditor = CommandAuditor(mc)
+        auditor.on_solo_refresh(1000, 0, 2, close=1000 + mc.tras_c)
+        auditor.on_ref(1005, 0)  # bank 2 is still restoring
+        problems = auditor.violations()
+        assert any("open banks" in p for p in problems)
+
+    def test_attaching_auditor_does_not_change_results(self):
+        config = SystemConfig(refresh_mode="hira", para_nrh=256.0)
+        mix = random_mix(17)
+        bare = System(config, mix, seed=17, instr_budget=10_000).run()
+        audited_system = System(config, mix, seed=17, instr_budget=10_000)
+        attach_auditors(audited_system)
+        audited = audited_system.run()
+        assert bare.cycles == audited.cycles
+        assert bare.ipcs == audited.ipcs
