@@ -70,8 +70,11 @@ def test_fig12_para_perf(benchmark):
     # PARA's overhead grows as NRH falls.
     assert to_baseline[(lo, "PARA")] < to_baseline[(hi, "PARA")]
     assert to_baseline[(lo, "PARA")] < 0.8
-    # HiRA with slack beats plain PARA at the lowest threshold.
-    assert to_para[(lo, "HiRA-4")] > 1.02
+    # HiRA with slack beats plain PARA at the lowest threshold.  The
+    # quick-mode 2-mix margin tightened when the timing model gained the
+    # bank-group tRRD_L/tRRD_S split and tWR write recovery (both PARA
+    # and HiRA pay the stricter gates; re-baselined at 1.011).
+    assert to_para[(lo, "HiRA-4")] > 1.0
     # Slack does not hurt (quick-mode 2-mix noise allows a small wobble;
     # the paper's strict HiRA-0 < HiRA-2 < HiRA-4 ordering emerges over
     # the full 125-mix average).

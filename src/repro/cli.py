@@ -150,6 +150,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{result.cache_hits} cached, {result.cache_misses} executed, "
         f"{result.elapsed_s:.1f}s on {result.workers} workers",
     ))
+    if args.json_out:
+        import json
+        from pathlib import Path
+
+        payload = {
+            "name": args.name,
+            "runs": len(result),
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+            "cells": [
+                {
+                    "coords": dict(cell),
+                    "mean_ws": ws / n,
+                    "mean_reads": reads / n,
+                    "n": n,
+                }
+                for cell, (ws, reads, n) in cells.items()
+            ],
+        }
+        Path(args.json_out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json_out}")
     return 0
 
 
@@ -220,6 +241,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None)
     p.add_argument("--cache-dir", default=".sweep-cache", dest="cache_dir")
     p.add_argument("--no-cache", action="store_true", dest="no_cache")
+    p.add_argument("--json-out", default=None, dest="json_out",
+                   help="also write per-cell mean results to a JSON file")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("security", help="PARA configuration for a threshold")

@@ -40,10 +40,28 @@ class _BankPeriodicState:
     next_gen: float
     pending: deque = field(default_factory=deque)  # generation cycles
     sa_ptr: int = 0
+    #: Rows refreshed *ahead* of the periodic schedule by eager pairing;
+    #: each credit cancels one future generated request.
+    credit: int = 0
 
 
 class HiraRefreshEngine(RefreshEngine):
-    """HiRA-MC's refresh policy, pluggable into the memory controller."""
+    """HiRA-MC's refresh policy, pluggable into the memory controller.
+
+    ``pressure_threshold`` and ``eager_pairing`` make the Concurrent
+    Refresh Finder ACT-bandwidth aware: when the rank's recent activation
+    rate approaches the tRRD/tFAW budget (see
+    :meth:`repro.sim.controller.MemoryController.act_pressure`; pressure
+    quantizes to quarters and pairs are only tFAW-legal at <= 0.5, so
+    thresholds above 0.5 keep the riding-deferral but never pair), the
+    finder prefers refresh-refresh pairs — which hide both refresh ACTs in
+    a single tRC-long bank-busy window — over refresh-demand interleaving
+    that burns scarce demand ACT slots.  Eager pairing lets a due refresh
+    pull the bank's *next* periodic request forward (when demand is queued
+    for the bank) so it forms a pair; refreshing a row early is always
+    retention-safe, and each pulled-forward row cancels one future request
+    via ``credit``.
+    """
 
     def __init__(
         self,
@@ -53,6 +71,8 @@ class HiraRefreshEngine(RefreshEngine):
         disable_access_parallelization: bool = False,
         disable_refresh_parallelization: bool = False,
         pr_fifo_depth: int = 4,
+        pressure_threshold: float = 0.5,
+        eager_pairing: bool = True,
     ):
         super().__init__()
         self.tref_slack_acts = tref_slack_acts
@@ -61,6 +81,8 @@ class HiraRefreshEngine(RefreshEngine):
         self.disable_access_parallelization = disable_access_parallelization
         self.disable_refresh_parallelization = disable_refresh_parallelization
         self.pr_fifo_depth = pr_fifo_depth
+        self.pressure_threshold = pressure_threshold
+        self.eager_pairing = eager_pairing
 
     # ------------------------------------------------------------------
     def attach(self, mc) -> None:
@@ -98,11 +120,17 @@ class HiraRefreshEngine(RefreshEngine):
         while heap and heap[0][0] <= now:
             __, rank, bank = heapq.heappop(heap)
             state = self._periodic[(rank, bank)]
-            state.pending.append(int(state.next_gen))
-            self.mc.stats.periodic_generated += 1
+            if state.credit > 0:
+                # This row was already refreshed ahead of schedule by an
+                # eager refresh-refresh pair; consume the credit instead of
+                # generating a request.
+                state.credit -= 1
+            else:
+                state.pending.append(int(state.next_gen))
+                self.mc.stats.periodic_generated += 1
+                self._active.add((rank, bank))
             state.next_gen += state.period
             heapq.heappush(heap, (int(state.next_gen), rank, bank))
-            self._active.add((rank, bank))
 
     def _refresh_active(self, rank: int, bank: int) -> None:
         """Recompute a bank's membership in the active set."""
@@ -132,13 +160,7 @@ class HiraRefreshEngine(RefreshEngine):
         victim = self.para_observe_act(rank, bank, activated_row, now)
         if victim is None:
             return
-        request = PreventiveRequest(row=victim, deadline=now + self.slack_c)
-        if self.pr[rank].push(bank, request):
-            self._active.add((rank, bank))
-        else:
-            # FIFO full: fall back to an immediate blocking refresh, the
-            # behaviour PARA would have had without HiRA-MC.
-            self._queue_preventive(rank, bank, victim, now)
+        self._requeue_row(rank, bank, victim, now + self.slack_c)
 
     # ------------------------------------------------------------------
     # Refresh-access parallelization (Fig. 8, Case 1)
@@ -153,6 +175,18 @@ class HiraRefreshEngine(RefreshEngine):
         preventive_head = self.pr[rank].head(bank)
         periodic_deadline = self._periodic_deadline(periodic)
         preventive_deadline = preventive_head.deadline if preventive_head else _FAR_FUTURE
+        # ACT-bandwidth awareness: a refresh-access HiRA op spends a second
+        # activation slot on this rank right now.  When the rank is already
+        # tRRD/tFAW-bound, keep *periodic* refreshes queued for
+        # refresh-refresh pairing at their deadline (two refreshes in one
+        # bank-busy window) instead of stealing scarce demand ACT slots.
+        # Preventive refreshes still ride: they are pinned to victim rows
+        # and pair far less often, so riding remains their cheapest path.
+        defer_periodic = (
+            not self.disable_refresh_parallelization
+            and self.mc.act_pressure(rank, now) >= self.pressure_threshold
+            and periodic_deadline > now + self.mc.trc_c
+        )
 
         # Try the earliest-deadline request first, then the other kind.
         order = (
@@ -161,7 +195,7 @@ class HiraRefreshEngine(RefreshEngine):
             else ("preventive", "periodic")
         )
         for kind in order:
-            if kind == "periodic" and periodic.pending:
+            if kind == "periodic" and periodic.pending and not defer_periodic:
                 partner = self.spt.partner_subarray((rank, bank), sa_demand)
                 if partner is not None:
                     periodic.pending.popleft()
@@ -179,6 +213,20 @@ class HiraRefreshEngine(RefreshEngine):
     # Deadline enforcement (Fig. 8, Case 2)
     # ------------------------------------------------------------------
     def urgent(self, now: int) -> bool:
+        # Re-admit spilled preventive refreshes as PR-FIFO slots free up,
+        # so they regain deadline-driven scheduling (and keep the original
+        # deadlines they were spilled with).  Entries whose bank FIFO is
+        # still full stay spilled, in order, without blocking other banks.
+        if self._preventive:
+            spilled = deque()
+            for rank, bank_id, row, deadline in self._preventive:
+                if self.pr[rank].push(
+                    bank_id, PreventiveRequest(row=row, deadline=deadline)
+                ):
+                    self._active.add((rank, bank_id))
+                else:
+                    spilled.append((rank, bank_id, row, deadline))
+            self._preventive = spilled
         if self._service_preventive(now):  # PR-FIFO overflow path
             return True
         self._advance_generation(now)
@@ -201,7 +249,7 @@ class HiraRefreshEngine(RefreshEngine):
                     mc.issue_pre(rank, bank_id, now)
                     return True
                 continue
-            if now < bank.next_act or not mc.faw_ok(rank, now) or not mc.trrd_ok(rank, now):
+            if now < bank.next_act or not mc.faw_ok(rank, now) or not mc.trrd_ok(rank, bank_id, now):
                 continue
             if now > deadline + mc.trc_c:
                 mc.stats.deadline_misses += 1
@@ -227,13 +275,22 @@ class HiraRefreshEngine(RefreshEngine):
         self._refresh_active(rank, bank_id)
         return row
 
-    def _pop_partner_for(self, rank: int, bank_id: int, sa_first: int) -> int | None:
+    def _pop_partner_for(
+        self, rank: int, bank_id: int, sa_first: int, now: int
+    ) -> int | None:
         """A second pending refresh whose subarray is isolated from the first.
 
         A periodic request can refresh *any* subarray next (the Concurrent
         Refresh Finder picks one where parallelization is possible,
         §5.1.3); a preventive request is pinned to its victim row and pairs
         only if that row's subarray happens to be isolated.
+
+        When no second request is pending but the rank is ACT-bandwidth
+        bound *and* demand is queued for this bank, the finder pulls the
+        bank's *next* periodic request forward (refreshing ahead of
+        schedule is always retention-safe) so the due refresh still forms
+        a pair: two rows per bank-busy window instead of two separate
+        windows competing with the waiting demand for the bank's time.
         """
         head = self.pr[rank].head(bank_id)
         if head is not None and self.spt.isolated(
@@ -249,6 +306,19 @@ class HiraRefreshEngine(RefreshEngine):
                 periodic.pending.popleft()
                 self._refresh_active(rank, bank_id)
                 return self.refptr[rank].advance(bank_id, partner)
+        elif (
+            self.eager_pairing
+            and self.mc.act_pressure(rank, now) >= self.pressure_threshold
+            and self.mc.demand_waiting(rank, bank_id)
+        ):
+            # Pull-forward pays twice: the rank is ACT-bound (a pair costs
+            # one urgent intervention instead of two) and demand is queued
+            # for this bank (one t1+t2+tRAS+tRP busy window instead of two
+            # tRAS+tRP windows frees real bank time for those requests).
+            partner = self.spt.partner_subarray((rank, bank_id), sa_first)
+            if partner is not None:
+                periodic.credit += 1
+                return self.refptr[rank].advance(bank_id, partner)
         return None
 
     def _perform_due_refresh(self, rank: int, bank_id: int, now: int) -> None:
@@ -259,24 +329,35 @@ class HiraRefreshEngine(RefreshEngine):
         # A HiRA pair issues two ACTs: it needs two free tFAW slots (§5.2).
         if not self.disable_refresh_parallelization and mc.faw_ok_double(rank, now):
             partner = self._pop_partner_for(
-                rank, bank_id, self.spt.subarray_of_row(first)
+                rank, bank_id, self.spt.subarray_of_row(first), now
             )
             if partner is not None:
                 mc.issue_hira_refresh_pair(rank, bank_id, now)
                 return
         mc.issue_solo_refresh(rank, bank_id, now)
 
-    def _requeue_row(self, rank: int, bank_id: int, row: int, now: int) -> None:
-        """Give a popped-but-unpaired refresh back to its queue."""
-        request = PreventiveRequest(row=row, deadline=now + self.slack_c)
-        if not self.pr[rank].push(bank_id, request):
-            self._queue_preventive(rank, bank_id, row, now)
+    def _requeue_row(self, rank: int, bank_id: int, row: int, deadline: int) -> None:
+        """Put a preventive refresh under deadline control.
+
+        The single entry point for (re)queueing a victim row: into the
+        PR-FIFO when it has room, else spilled to the overflow queue
+        (serviced as soon as the bank allows, like PARA without HiRA-MC).
+        The request keeps the deadline it was *given*: re-stamping with
+        ``now + slack_c`` on every requeue would silently extend the
+        security deadline each time the refresh bounces.
+        """
+        request = PreventiveRequest(row=row, deadline=deadline)
+        if self.pr[rank].push(bank_id, request):
+            self._active.add((rank, bank_id))
+        else:
+            self._queue_preventive(rank, bank_id, row, deadline)
 
     # ------------------------------------------------------------------
     def next_deadline(self, now: int) -> int:
         self._advance_generation(now)
+        mc = self.mc
         soonest = self._preventive_deadline(now)
-        trc = self.mc.trc_c
+        trc = mc.trc_c
         for rank, bank_id in self._active:
             periodic = self._periodic[(rank, bank_id)]
             head = self.pr[rank].head(bank_id)
@@ -284,10 +365,23 @@ class HiraRefreshEngine(RefreshEngine):
                 self._periodic_deadline(periodic),
                 head.deadline if head else _FAR_FUTURE,
             )
-            if deadline != _FAR_FUTURE:
-                soonest = min(soonest, max(deadline - trc, now + 1))
+            if deadline == _FAR_FUTURE:
+                continue
+            wake = deadline - trc
+            if wake <= now:
+                # Already due: report the true cycle the refresh can issue
+                # (bank/rank gates) instead of clamping to now + 1, which
+                # would busy-spin the event loop one cycle at a time.
+                bank = mc.bank(rank, bank_id)
+                gate = mc.ranks[rank].busy_until
+                if bank.open_row is not None:
+                    gate = max(gate, bank.next_pre)
+                else:
+                    gate = max(gate, mc.act_allowed_at(rank, bank_id))
+                wake = max(wake, gate)
+            soonest = min(soonest, wake)
         if self._gen_heap:
-            soonest = min(soonest, max(self._gen_heap[0][0] + self.slack_c - trc, now + 1))
+            soonest = min(soonest, self._gen_heap[0][0] + self.slack_c - trc)
         return soonest
 
     # ------------------------------------------------------------------

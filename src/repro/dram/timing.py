@@ -37,7 +37,13 @@ class TimingParams:
     - ``trefi``: interval between REF commands.
     - ``trefw``: refresh window (retention guarantee).
     - ``tfaw``: four-activation window per rank.
-    - ``trrd``: minimum ACT → ACT spacing between banks of a rank.
+    - ``trrd_s`` / ``trrd_l``: minimum ACT → ACT spacing between banks of
+      *different* bank groups (short) and within the *same* bank group
+      (long).  DDR4 splits tRRD because same-group banks share local I/O
+      and charge-pump resources.
+    - ``twr``: write recovery — the delay between the end of a write data
+      burst and a PRE to the written bank.
+    - ``tcwl``: CAS write latency (WR command → start of write data burst).
     - ``tcl`` / ``tbl``: column access latency / data burst duration, used by
       the system simulator to time read completion.
     - ``hira_t1`` / ``hira_t2``: HiRA's engineered ACT→PRE and PRE→ACT gaps.
@@ -52,9 +58,14 @@ class TimingParams:
     trefi: int = ns(7_800.0)
     trefw: int = ns(64_000_000.0)
     tfaw: int = ns(16.0)
-    #: JEDEC DDR4-2400 tRRD_S for 1 KiB pages (Table 3's row width),
-    #: applied rank-wide (the scheduler does not split by bank group).
-    trrd: int = ns(3.3)
+    #: JEDEC DDR4-2400 tRRD_S / tRRD_L for 1 KiB pages (Table 3's row
+    #: width): cross-group ACTs need only the short spacing, same-group
+    #: ACTs the long one.
+    trrd_s: int = ns(3.3)
+    trrd_l: int = ns(4.9)
+    #: JEDEC DDR4 write recovery and CAS write latency (DDR4-2400: CWL=12).
+    twr: int = ns(15.0)
+    tcwl: int = ns(10.0)
     tcl: int = ns(14.25)
     tbl: int = ns(3.33)
     hira_t1: int = ns(3.0)
@@ -66,7 +77,15 @@ class TimingParams:
                 "tRC must be at least tRAS + tRP "
                 f"({self.trc} < {self.tras} + {self.trp})"
             )
-        for name in ("tck", "trcd", "tras", "trp", "trfc", "trefi", "trefw", "tfaw", "trrd"):
+        if self.trrd_l < self.trrd_s:
+            raise ValueError(
+                "tRRD_L must be at least tRRD_S "
+                f"({self.trrd_l} < {self.trrd_s})"
+            )
+        for name in (
+            "tck", "trcd", "tras", "trp", "trfc", "trefi", "trefw", "tfaw",
+            "trrd_s", "trrd_l", "twr", "tcwl",
+        ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
 
@@ -107,7 +126,10 @@ DDR5_4800 = TimingParams(
     trefi=ns(3_900.0),
     trefw=ns(32_000_000.0),
     tfaw=ns(13.333),
-    trrd=ns(3.3),
+    trrd_s=ns(3.3),
+    trrd_l=ns(5.0),
+    twr=ns(30.0),
+    tcwl=ns(10.0),
     tcl=ns(14.0),
     tbl=ns(3.33),
 )

@@ -9,10 +9,13 @@ parallelization must never break:
 - **tRC** — back-to-back ACTs to the same bank, *except* the engineered
   second activation inside a HiRA operation (that off-spec gap is the
   paper's contribution; everything around it must still be nominal).
-- **tRRD** — ACT-to-ACT spacing across banks of a rank.
+- **tRRD_S / tRRD_L** — ACT-to-ACT spacing across banks of a rank: the
+  short parameter between different bank groups, the long one within a
+  bank group (same-group banks share local I/O and charge pumps).
 - **tFAW** — at most four ACTs per rank in any tFAW window (HiRA's two
   ACTs both count, §5.2).
 - **tRP / tRAS** — ACT after PRE, PRE after ACT, outside HiRA internals.
+- **tWR** — write recovery: no PRE until tWR after a write burst lands.
 - **tRFC** — no command to a rank while a REF is in flight, and REF only
   with all banks precharged.
 - **Refresh deadline** — REF cadence never exceeds DDR4's nine-tREFI
@@ -31,12 +34,13 @@ REF_DEBIT_LIMIT = 9
 
 @dataclass(frozen=True, slots=True)
 class CommandRecord:
-    """One audited command: ``kind`` ∈ {ACT, PRE, REF}.
+    """One audited command: ``kind`` ∈ {ACT, PRE, REF, WR}.
 
     ``tag`` marks scheduling context: ``"demand"`` for normal commands,
     ``"hira2"`` for the engineered second ACT of a HiRA operation,
     ``"hira-pre"`` for its internal PRE, ``"refresh"`` for refresh ACTs,
     and ``"close"`` for the deferred PRE closing a refresh operation.
+    ``kind`` also admits ``WR`` write column accesses (for tWR).
     """
 
     cycle: int
@@ -52,6 +56,8 @@ class _BankTrack:
     open_row: int | None = None
     last_act: int = -1 << 60
     last_pre: int = -1 << 60
+    #: Cycle the most recent write data burst finishes landing (WR+CWL+BL).
+    wr_done: int = -1 << 60
 
 
 class CommandAuditor:
@@ -63,11 +69,16 @@ class CommandAuditor:
         self.trc_c = mc.trc_c
         self.trp_c = mc.trp_c
         self.tras_c = mc.tras_c
-        self.trrd_c = mc.trrd_c
+        self.trrd_s_c = mc.trrd_s_c
+        self.trrd_l_c = mc.trrd_l_c
         self.tfaw_c = mc.tfaw_c
         self.trfc_c = mc.trfc_c
         self.trefi_c = mc.trefi_c
+        self.twr_c = mc.twr_c
+        self.tcwl_c = mc.tcwl_c
+        self.tbl_c = mc.tbl_c
         self.hira_gap_c = mc.hira_gap_c
+        self.banks_per_bankgroup = mc.config.geometry.banks_per_bankgroup
         self.refresh_mode = mc.config.refresh_mode
         self.n_ranks = mc.config.ranks_per_channel
         self.records: list[CommandRecord] = []
@@ -83,6 +94,13 @@ class CommandAuditor:
 
     def on_ref(self, now: int, rank: int) -> None:
         self.records.append(CommandRecord(now, "REF", rank))
+
+    def on_col(self, now: int, rank: int, bank: int, is_write: bool) -> None:
+        # Only writes are recorded: tWR is the sole column-command check,
+        # so RD records would inflate the replay for nothing (they become
+        # interesting once a data-bus/tRTP audit consumes them).
+        if is_write:
+            self.records.append(CommandRecord(now, "WR", rank, bank))
 
     def on_solo_refresh(self, now: int, rank: int, bank: int, close: int) -> None:
         self.records.append(CommandRecord(now, "ACT", rank, bank, tag="refresh"))
@@ -113,11 +131,16 @@ class CommandAuditor:
         problems: list[str] = []
         banks: dict[tuple[int, int], _BankTrack] = {}
         rank_acts: dict[int, list[int]] = {}
+        #: (rank, bank group) -> cycle of the group's most recent ACT.
+        group_acts: dict[tuple[int, int], int] = {}
         ref_busy_until: dict[int, int] = {}
         last_ref: dict[int, int] = {}
 
         def bank_of(record: CommandRecord) -> _BankTrack:
             return banks.setdefault((record.rank, record.bank), _BankTrack())
+
+        def group_of(record: CommandRecord) -> tuple[int, int]:
+            return (record.rank, record.bank // self.banks_per_bankgroup)
 
         for rec in sorted(self.records, key=lambda r: r.cycle):
             if rec.kind == "ACT":
@@ -150,13 +173,25 @@ class CommandAuditor:
                             f"cycles after PRE"
                         )
                     # tRRD: the engineered hira2 gap is checked exactly above;
-                    # every other ACT must keep nominal any-bank spacing.
+                    # every other ACT must keep tRRD_S to any bank of the
+                    # rank and tRRD_L to banks of its own bank group.
                     acts = rank_acts.setdefault(rec.rank, [])
-                    if acts and rec.cycle - acts[-1] < self.trrd_c:
+                    if acts and rec.cycle - acts[-1] < self.trrd_s_c:
                         problems.append(
-                            f"@{rec.cycle}: tRRD violation on rank {rec.rank}: "
-                            f"ACT {rec.cycle - acts[-1]} < {self.trrd_c} "
+                            f"@{rec.cycle}: tRRD_S violation on rank {rec.rank}: "
+                            f"ACT {rec.cycle - acts[-1]} < {self.trrd_s_c} "
                             f"cycles after previous ACT"
+                        )
+                    last_group_act = group_acts.get(group_of(rec))
+                    if (
+                        last_group_act is not None
+                        and rec.cycle - last_group_act < self.trrd_l_c
+                    ):
+                        problems.append(
+                            f"@{rec.cycle}: tRRD_L violation on rank {rec.rank} "
+                            f"bank group {rec.bank // self.banks_per_bankgroup}: "
+                            f"ACT {rec.cycle - last_group_act} < {self.trrd_l_c} "
+                            f"cycles after previous same-group ACT"
                         )
                 acts = rank_acts.setdefault(rec.rank, [])
                 acts.append(rec.cycle)
@@ -171,6 +206,10 @@ class CommandAuditor:
                     )
                 track.last_act = rec.cycle
                 track.open_row = rec.row if rec.row is not None else -1
+                group_acts[group_of(rec)] = rec.cycle
+            elif rec.kind == "WR":
+                track = bank_of(rec)
+                track.wr_done = rec.cycle + self.tcwl_c + self.tbl_c
             elif rec.kind == "PRE":
                 track = bank_of(rec)
                 if rec.tag != "hira-pre" and rec.cycle - track.last_act < self.tras_c:
@@ -181,6 +220,13 @@ class CommandAuditor:
                         f"({rec.rank},{rec.bank}): PRE "
                         f"{rec.cycle - track.last_act} < {self.tras_c} "
                         f"cycles after ACT"
+                    )
+                if rec.cycle - track.wr_done < self.twr_c:
+                    problems.append(
+                        f"@{rec.cycle}: tWR violation on bank "
+                        f"({rec.rank},{rec.bank}): PRE "
+                        f"{rec.cycle - track.wr_done} < {self.twr_c} "
+                        f"cycles after write burst end"
                     )
                 track.last_pre = rec.cycle
                 track.open_row = None

@@ -59,6 +59,18 @@ class SystemConfig:
     #: Fraction of a bank's rows HiRA can pair with a given row (§4.2).
     hira_coverage: float = 0.32
 
+    #: ACT-bandwidth pressure (fraction of the tFAW budget recently used,
+    #: see ``MemoryController.act_pressure``) above which the Concurrent
+    #: Refresh Finder prefers refresh-refresh pairs over refresh-demand
+    #: interleaving.  Pressure quantizes to {0, 0.25, 0.5, 0.75, 1.0} and
+    #: a two-ACT pair is only tFAW-legal at pressure <= 0.5, so the useful
+    #: range is (0, 0.5]; values above 0.5 disable eager pairing and leave
+    #: only the riding-deferral side of the policy.
+    hira_pressure_threshold: float = 0.5
+    #: Allow a due refresh to pull the bank's next periodic request forward
+    #: so it can always form a refresh-refresh pair under ACT pressure.
+    hira_eager_pairing: bool = True
+
     def __post_init__(self) -> None:
         if self.refresh_mode not in ("none", "baseline", "elastic", "hira"):
             raise ValueError(f"unknown refresh_mode {self.refresh_mode!r}")

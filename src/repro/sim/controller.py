@@ -31,8 +31,12 @@ class _RankState:
     faw: deque = field(default_factory=deque)
     ref_due: int = 0
     busy_until: int = 0
-    #: Earliest cycle the next ACT to *any* bank of this rank may issue (tRRD).
+    #: Earliest cycle the next ACT to *any* bank of this rank may issue
+    #: (tRRD_S, the cross-bank-group spacing).
     next_act_any: int = 0
+    #: Earliest cycle the next ACT to each *bank group* may issue (tRRD_L,
+    #: the same-group spacing); sized per geometry in the controller.
+    next_act_group: list = field(default_factory=list)
     #: Earliest cycle a rank-level REF may issue: every bank precharged for
     #: tRP, including the deferred closes of in-flight refresh operations.
     ref_ready: int = 0
@@ -99,15 +103,17 @@ class RefreshEngine:
         """Called after a demand ACT is issued (PARA's observation point)."""
         victim = self.para_observe_act(req.addr.rank, req.addr.bank, req.addr.row, now)
         if victim is not None:
+            # Without HiRA the preventive refresh is due immediately.
             self._queue_preventive(req.addr.rank, req.addr.bank, victim, now)
 
-    def _queue_preventive(self, rank: int, bank_id: int, row: int, now: int) -> None:
-        self._preventive.append((rank, bank_id, row))
+    def _queue_preventive(self, rank: int, bank_id: int, row: int, deadline: int) -> None:
+        """Overflow queue for preventive refreshes, keeping each deadline."""
+        self._preventive.append((rank, bank_id, row, deadline))
 
     def _service_preventive(self, now: int) -> bool:
         """Perform the oldest feasible queued preventive refresh."""
         mc = self.mc
-        for i, (rank, bank_id, row) in enumerate(self._preventive):
+        for i, (rank, bank_id, row, __) in enumerate(self._preventive):
             if not mc.rank_available(rank, now):
                 continue
             bank = mc.bank(rank, bank_id)
@@ -116,7 +122,7 @@ class RefreshEngine:
                     mc.issue_pre(rank, bank_id, now)
                     return True
                 continue
-            if now >= bank.next_act and mc.faw_ok(rank, now) and mc.trrd_ok(rank, now):
+            if now >= bank.next_act and mc.faw_ok(rank, now) and mc.trrd_ok(rank, bank_id, now):
                 del self._preventive[i]
                 mc.issue_solo_refresh(rank, bank_id, now)
                 return True
@@ -127,15 +133,15 @@ class RefreshEngine:
             return _FAR_FUTURE
         mc = self.mc
         soonest = _FAR_FUTURE
-        for rank, bank_id, __ in self._preventive:
+        for rank, bank_id, __, __dl in self._preventive:
             bank = mc.bank(rank, bank_id)
             if bank.open_row is not None:
                 gate = bank.next_pre
             else:
-                gate = mc.act_allowed_at(rank, bank)
+                gate = mc.act_allowed_at(rank, bank_id)
             gate = max(gate, mc.ranks[rank].busy_until)
             soonest = min(soonest, gate)
-        return max(soonest, now + 1) if soonest != _FAR_FUTURE else _FAR_FUTURE
+        return soonest
 
     # -- Policy hooks ------------------------------------------------------
     def urgent(self, now: int) -> bool:
@@ -218,12 +224,19 @@ class MemoryController:
         self.tcl_c = c(tp.tcl)
         self.tbl_c = c(tp.tbl)
         self.tfaw_c = c(tp.tfaw)
-        self.trrd_c = c(tp.trrd)
+        self.trrd_s_c = c(tp.trrd_s)
+        self.trrd_l_c = c(tp.trrd_l)
+        self.twr_c = c(tp.twr)
+        self.tcwl_c = c(tp.tcwl)
         self.hira_gap_c = c(tp.hira_t1 + tp.hira_t2)
 
         geom = config.geometry
         self.banks_per_rank = geom.banks_per_rank
-        self.ranks = [_RankState() for __ in range(config.ranks_per_channel)]
+        self.banks_per_bankgroup = geom.banks_per_bankgroup
+        self.ranks = [
+            _RankState(next_act_group=[0] * geom.bankgroups_per_rank)
+            for __ in range(config.ranks_per_channel)
+        ]
         self._banks = [
             [_BankState() for __ in range(self.banks_per_rank)]
             for __ in range(config.ranks_per_channel)
@@ -266,6 +279,11 @@ class MemoryController:
         faw = self.ranks[rank].faw
         return len(faw) < 4 or now - faw[0] >= self.tfaw_c
 
+    def recent_acts(self, rank: int, now: int) -> int:
+        """Activations to the rank inside the current tFAW window."""
+        faw = self.ranks[rank].faw
+        return sum(1 for t in faw if now - t < self.tfaw_c)
+
     def faw_ok_double(self, rank: int, now: int) -> bool:
         """Room for *two* activations in the four-activation window.
 
@@ -275,30 +293,67 @@ class MemoryController:
         Concurrent Refresh Finder naturally back off from refresh-access
         parallelization in activation-bound phases.
         """
-        faw = self.ranks[rank].faw
-        recent = sum(1 for t in faw if now - t < self.tfaw_c)
-        return recent <= 2
+        return self.recent_acts(rank, now) <= 2
 
     def faw_next(self, rank: int) -> int:
         faw = self.ranks[rank].faw
         return faw[0] + self.tfaw_c if len(faw) >= 4 else 0
 
-    def trrd_ok(self, rank: int, now: int) -> bool:
-        """Whether a new ACT to the rank respects tRRD (any-bank spacing)."""
-        return now >= self.ranks[rank].next_act_any
+    def trrd_ok(self, rank: int, bank_id: int, now: int) -> bool:
+        """Whether an ACT to the bank respects tRRD_S (any bank) and
+        tRRD_L (same bank group)."""
+        rank_state = self.ranks[rank]
+        if now < rank_state.next_act_any:
+            return False
+        group = bank_id // self.banks_per_bankgroup
+        return now >= rank_state.next_act_group[group]
 
-    def act_allowed_at(self, rank: int, bank: "_BankState") -> int:
+    def act_allowed_at(self, rank: int, bank_id: int) -> int:
         """Earliest cycle the bank's next ACT satisfies every rank gate."""
         rank_state = self.ranks[rank]
-        return max(bank.next_act, self.faw_next(rank), rank_state.next_act_any)
+        group = bank_id // self.banks_per_bankgroup
+        return max(
+            self.bank(rank, bank_id).next_act,
+            self.faw_next(rank),
+            rank_state.next_act_any,
+            rank_state.next_act_group[group],
+        )
 
-    def _record_act(self, rank: int, now: int) -> None:
+    def _record_act(self, rank: int, bank_id: int, now: int) -> None:
         rank_state = self.ranks[rank]
         faw = rank_state.faw
         faw.append(now)
         while len(faw) > 4:
             faw.popleft()
-        rank_state.next_act_any = max(rank_state.next_act_any, now + self.trrd_c)
+        rank_state.next_act_any = max(rank_state.next_act_any, now + self.trrd_s_c)
+        group = bank_id // self.banks_per_bankgroup
+        gates = rank_state.next_act_group
+        gates[group] = max(gates[group], now + self.trrd_l_c)
+
+    def act_pressure(self, rank: int, now: int) -> float:
+        """Fraction of the rank's ACT-issue budget consumed recently.
+
+        Counts activations inside the current tFAW window: 1.0 means the
+        four-activation window is exhausted (every new ACT waits on tFAW),
+        0.5 means half the budget is spoken for.  The Concurrent Refresh
+        Finder uses this as its ACT-bandwidth pressure signal: above
+        :attr:`HiraRefreshEngine.pressure_threshold` it prefers
+        refresh-refresh pairs (two refreshes per bank-busy window) over
+        interleaving refreshes with scarce demand activations.
+        """
+        return self.recent_acts(rank, now) / 4.0
+
+    def demand_waiting(self, rank: int, bank_id: int) -> bool:
+        """Whether any queued demand request targets the bank.
+
+        The Concurrent Refresh Finder uses this to decide if a bank's
+        *time* is contended: pairing two refreshes into one bank-busy
+        window only pays off when demand is waiting to use the bank."""
+        for queue in (self.read_q, self.write_q):
+            for req in queue:
+                if req.addr.rank == rank and req.addr.bank == bank_id:
+                    return True
+        return False
 
     # ------------------------------------------------------------------
     # Command issue primitives
@@ -320,7 +375,7 @@ class MemoryController:
         bank.next_rdwr = now + self.trcd_c
         bank.next_pre = now + self.tras_c
         bank.next_act = now + self.trc_c
-        self._record_act(rank, now)
+        self._record_act(rank, bank_id, now)
         self.bus_next = now + 1
         self.stats.acts += 1
         self.stats.row_misses += 1
@@ -340,8 +395,8 @@ class MemoryController:
         bank.next_rdwr = eff + self.trcd_c
         bank.next_pre = eff + self.tras_c
         bank.next_act = eff + self.trc_c
-        self._record_act(rank, now)
-        self._record_act(rank, eff)
+        self._record_act(rank, bank_id, now)
+        self._record_act(rank, bank_id, eff)
         # Three commands (ACT, PRE, ACT) occupy three bus slots; the bus is
         # free between them for other banks.
         self.bus_next = now + 3
@@ -364,8 +419,8 @@ class MemoryController:
         bank.next_pre = close
         rank_state = self.ranks[rank]
         rank_state.ref_ready = max(rank_state.ref_ready, close + self.trp_c)
-        self._record_act(rank, now)
-        self._record_act(rank, now + self.hira_gap_c)
+        self._record_act(rank, bank_id, now)
+        self._record_act(rank, bank_id, now + self.hira_gap_c)
         self.bus_next = now + 3
         self._scheduled_closes.append((close, rank, bank_id))
         self.stats.acts += 2
@@ -385,7 +440,7 @@ class MemoryController:
         bank.next_pre = close
         rank_state = self.ranks[rank]
         rank_state.ref_ready = max(rank_state.ref_ready, close + self.trp_c)
-        self._record_act(rank, now)
+        self._record_act(rank, bank_id, now)
         self.bus_next = now + 1
         self._scheduled_closes.append((close, rank, bank_id))
         self.stats.acts += 1
@@ -477,7 +532,7 @@ class MemoryController:
                 continue
             bank = self.bank(rank, bank_id)
             if bank.open_row is None:
-                if now >= bank.next_act and self.faw_ok(rank, now) and self.trrd_ok(rank, now):
+                if now >= bank.next_act and self.faw_ok(rank, now) and self.trrd_ok(rank, bank_id, now):
                     refresh_row = None
                     if self.faw_ok_double(rank, now):
                         refresh_row = self.engine.on_act(req, now)
@@ -509,8 +564,12 @@ class MemoryController:
         bank = self.bank(rank, bank_id)
         self.bus_next = now + 1
         if req.is_write:
-            bank.next_pre = max(bank.next_pre, now + self.tbl_c + 4)
-            req.complete_cycle = now + self.tcl_c + self.tbl_c
+            # Write recovery: the bank may not precharge until tWR after
+            # the write data burst (WR + CWL + BL) has fully landed in the
+            # sense amplifiers.
+            burst_end = now + self.tcwl_c + self.tbl_c
+            bank.next_pre = max(bank.next_pre, burst_end + self.twr_c)
+            req.complete_cycle = burst_end
             self.stats.writes_served += 1
         else:
             start = max(now + self.tcl_c, self.data_bus_next)
@@ -520,6 +579,8 @@ class MemoryController:
             self.stats.reads_served += 1
             self.completions.append((req.complete_cycle, req))
         self.stats.row_hits += 1
+        if self.auditor is not None:
+            self.auditor.on_col(now, rank, bank_id, req.is_write)
 
     # ------------------------------------------------------------------
     def next_event(self, now: int) -> int:
@@ -535,7 +596,7 @@ class MemoryController:
                 if bank.open_row == req.addr.row:
                     candidates.append(bank.next_rdwr)
                 elif bank.open_row is None:
-                    candidates.append(self.act_allowed_at(rank, bank))
+                    candidates.append(self.act_allowed_at(rank, bank_id))
                 else:
                     candidates.append(bank.next_pre)
         future = [c for c in candidates if c > now]

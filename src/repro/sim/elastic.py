@@ -78,9 +78,11 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
         soonest = _FAR_FUTURE
         for rank_id, rank in enumerate(self.mc.ranks):
             if self._committed[rank_id]:
-                # Mid-drain: wake when the next drain step can proceed
-                # (a bank precharge or the tRP-after-PRE REF gate).
-                gate = max(rank.busy_until, rank.ref_ready, now + 1)
+                # Mid-drain: wake when the next drain step can proceed (a
+                # bank precharge or the tRP-after-PRE REF gate).  The true
+                # gate is returned even when already past — the controller
+                # handles lateness once instead of being spun cycle by cycle.
+                gate = max(rank.busy_until, rank.ref_ready)
                 open_bank = self.mc.first_open_bank(rank_id)
                 if open_bank is not None:
                     gate = max(gate, self.mc.bank(rank_id, open_bank).next_pre)

@@ -66,6 +66,8 @@ def _build_engine(config: SystemConfig) -> RefreshEngine:
         stagger=config.stagger_bank_refresh,
         disable_access_parallelization=config.disable_access_parallelization,
         disable_refresh_parallelization=config.disable_refresh_parallelization,
+        pressure_threshold=config.hira_pressure_threshold,
+        eager_pairing=config.hira_eager_pairing,
     )
 
 

@@ -43,3 +43,37 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "HiRA coverage" in out and "normalized NRH" in out
+
+    def test_sweep_json_out_and_margin_check(self, capsys, tmp_path):
+        json_path = tmp_path / "margin.json"
+        assert main([
+            "sweep", "--name", "t", "--modes", "baseline,hira", "--slacks", "2",
+            "--capacities", "8", "--mixes", "1", "--instructions", "5000",
+            "--workers", "1", "--no-cache", "--json-out", str(json_path),
+        ]) == 0
+        capsys.readouterr()
+        import json
+
+        payload = json.loads(json_path.read_text())
+        cfgs = {cell["coords"]["cfg"] for cell in payload["cells"]}
+        assert cfgs == {"baseline", "HiRA-2"}
+        assert all(cell["mean_ws"] > 0 for cell in payload["cells"])
+
+        import subprocess
+        import sys
+
+        # A floor of 0 always passes; an absurd floor must fail.
+        from pathlib import Path
+
+        script = str(Path(__file__).resolve().parent.parent / "tools" / "check_fig12_margin.py")
+        ok = subprocess.run(
+            [sys.executable, script, str(json_path), "--min-margin", "0.0"],
+            capture_output=True, text=True,
+        )
+        assert ok.returncode == 0, ok.stdout + ok.stderr
+        bad = subprocess.run(
+            [sys.executable, script, str(json_path), "--min-margin", "99.0"],
+            capture_output=True, text=True,
+        )
+        assert bad.returncode == 1
+        assert "REGRESSED" in bad.stdout

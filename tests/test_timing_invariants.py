@@ -2,10 +2,10 @@
 
 Each test builds a system with a :class:`CommandAuditor` on every channel,
 drives it with randomized traces, and asserts the recorded command stream
-holds tRC / tRRD / tFAW / tRP / tRAS / tRFC and the refresh-deadline
-rules.  This is the guard rail for the paper's Case-1/Case-2
-parallelization: HiRA may only violate tRC *inside* its own engineered
-ACT-PRE-ACT sequence, never anywhere else.
+holds tRC / tRRD_L / tRRD_S / tFAW / tRP / tRAS / tWR / tRFC and the
+refresh-deadline rules.  This is the guard rail for the paper's
+Case-1/Case-2 parallelization: HiRA may only violate tRC *inside* its own
+engineered ACT-PRE-ACT sequence, never anywhere else.
 """
 
 from __future__ import annotations
@@ -87,6 +87,54 @@ class TestEnginesHoldInvariants:
         config = SystemConfig(refresh_mode="hira", capacity_gbit=128.0)
         __, auditors = run_audited(config, random_mix(9), seed=9)
         assert_clean(auditors)
+
+    @pytest.mark.parametrize("mode", ["baseline", "elastic", "hira"])
+    def test_write_heavy_traces_hold_twr(self, mode):
+        # Low read fractions force write drains: every PRE after a write
+        # burst must wait out tWR on the new auditor.
+        mix = [
+            TraceProfile(
+                f"wr{i}", mpki=30.0, row_locality=0.4, read_fraction=0.25,
+                working_set_rows=2048,
+            )
+            for i in range(8)
+        ]
+        config = SystemConfig(refresh_mode=mode)
+        result, auditors = run_audited(config, mix, seed=31)
+        assert result.stat_total("writes_served") > 0
+        assert any(r.kind == "WR" for a in auditors for r in a.records)
+        assert_clean(auditors)
+
+    @pytest.mark.parametrize("mode", ["baseline", "elastic", "hira"])
+    @pytest.mark.parametrize("trace_seed", [41, 43])
+    def test_bankgroup_spacing_randomized(self, mode, trace_seed):
+        # Same-group ACT pairs must be spaced by tRRD_L, cross-group by
+        # tRRD_S — recomputed here independently of the auditor so a bug
+        # in the auditor's own bookkeeping cannot hide one in the
+        # scheduler.
+        config = SystemConfig(refresh_mode=mode)
+        __, auditors = run_audited(config, random_mix(trace_seed), seed=trace_seed)
+        assert_clean(auditors)
+        for auditor in auditors:
+            groups = auditor.banks_per_bankgroup
+            acts = sorted(
+                (r for r in auditor.records if r.kind == "ACT" and r.tag != "hira2"),
+                key=lambda r: r.cycle,
+            )
+            by_rank: dict[int, object] = {}
+            by_group: dict[tuple[int, int], object] = {}
+            for rec in acts:
+                prev = by_rank.get(rec.rank)
+                if prev is not None:
+                    assert rec.cycle - prev.cycle >= auditor.trrd_s_c, (rec, prev)
+                group_key = (rec.rank, rec.bank // groups)
+                prev_group = by_group.get(group_key)
+                if prev_group is not None:
+                    assert rec.cycle - prev_group.cycle >= auditor.trrd_l_c, (
+                        rec, prev_group,
+                    )
+                by_rank[rec.rank] = rec
+                by_group[group_key] = rec
 
 
 class TestRefreshProgress:
@@ -170,13 +218,58 @@ class TestAuditorMechanics:
         assert any("tRC" in p for p in problems)
         assert any("tRRD" in p for p in problems)
 
+    def test_detects_planted_trrd_l_violation(self):
+        # Same-bank-group ACTs at tRRD_S spacing satisfy the short but not
+        # the long parameter.
+        config = SystemConfig(refresh_mode="none")
+        system = System(config, random_mix(1), seed=1, instr_budget=2_000)
+        auditor = CommandAuditor(system.controllers[0])
+        auditor.on_act(1000, 0, 0, 5)
+        auditor.on_act(1000 + auditor.trrd_s_c, 0, 1, 6)  # bank 1: same group
+        problems = auditor.violations()
+        assert any("tRRD_L" in p for p in problems)
+        assert not any("tRRD_S" in p for p in problems)
+
+    def test_cross_group_acts_at_trrd_s_are_legal(self):
+        config = SystemConfig(refresh_mode="none")
+        system = System(config, random_mix(1), seed=1, instr_budget=2_000)
+        mc = system.controllers[0]
+        auditor = CommandAuditor(mc)
+        bank_cross = mc.config.geometry.banks_per_bankgroup  # first bank of group 1
+        auditor.on_act(1000, 0, 0, 5)
+        auditor.on_act(1000 + auditor.trrd_s_c, 0, bank_cross, 6)
+        assert auditor.violations() == []
+
+    def test_detects_planted_twr_violation(self):
+        config = SystemConfig(refresh_mode="none")
+        system = System(config, random_mix(1), seed=1, instr_budget=2_000)
+        auditor = CommandAuditor(system.controllers[0])
+        auditor.on_act(1000, 0, 0, 5)
+        wr = 1000 + system.controllers[0].trcd_c
+        auditor.on_col(wr, 0, 0, is_write=True)
+        burst_end = wr + auditor.tcwl_c + auditor.tbl_c
+        auditor.on_pre(burst_end + auditor.twr_c - 1, 0, 0)  # one cycle early
+        problems = auditor.violations()
+        assert any("tWR" in p for p in problems)
+
+    def test_pre_at_twr_boundary_is_legal(self):
+        config = SystemConfig(refresh_mode="none")
+        system = System(config, random_mix(1), seed=1, instr_budget=2_000)
+        auditor = CommandAuditor(system.controllers[0])
+        auditor.on_act(1000, 0, 0, 5)
+        wr = 1000 + system.controllers[0].trcd_c
+        auditor.on_col(wr, 0, 0, is_write=True)
+        burst_end = wr + auditor.tcwl_c + auditor.tbl_c
+        auditor.on_pre(max(burst_end + auditor.twr_c, 1000 + auditor.tras_c), 0, 0)
+        assert auditor.violations() == []
+
     def test_detects_planted_tfaw_violation(self):
         config = SystemConfig(refresh_mode="none")
         system = System(config, random_mix(1), seed=1, instr_budget=2_000)
         mc = system.controllers[0]
         auditor = CommandAuditor(mc)
         for i in range(5):  # five ACTs, tRRD-spaced, inside one tFAW window
-            auditor.on_act(1000 + i * mc.trrd_c, 0, i, 3)
+            auditor.on_act(1000 + i * mc.trrd_s_c, 0, i, 3)
         problems = auditor.violations()
         assert any("tFAW" in p for p in problems)
 
@@ -199,3 +292,136 @@ class TestAuditorMechanics:
         audited = audited_system.run()
         assert bare.cycles == audited.cycles
         assert bare.ipcs == audited.ipcs
+
+
+class TestPairingPolicy:
+    """The ACT-bandwidth-aware Concurrent Refresh Finder (Fig. 8 Case 2)."""
+
+    def _saturated_system(self):
+        from repro.dram.geometry import Address
+        from repro.sim.request import Request
+
+        config = SystemConfig(refresh_mode="hira", tref_slack_acts=2)
+        mix = [
+            TraceProfile("idle", mpki=1.0, row_locality=0.5, read_fraction=1.0)
+        ] * 8
+        system = System(config, mix, seed=1, instr_budget=1_000)
+        mc = system.controllers[0]
+        engine = mc.engine
+        now = 10_000
+        # Only our synthetic request exists: silence periodic generation.
+        engine._gen_heap.clear()
+        state = engine._periodic[(0, 0)]
+        state.pending.append(now - engine.slack_c)  # deadline == now: due
+        engine._active.add((0, 0))
+        demand = Request(
+            addr=Address(channel=0, rank=0, bank=0, row=5, col=0),
+            line=0, is_write=False, core_id=0, arrival_cycle=now,
+        )
+        return system, mc, engine, state, demand, now
+
+    def _saturate_rank(self, mc, now):
+        # Two recent ACTs to other bank groups: pressure hits 0.5 (the
+        # highest level at which a two-ACT pair is still tFAW-legal)
+        # without gating bank 0 on tRRD_L.
+        spread = mc.banks_per_bankgroup
+        mc._record_act(0, spread, now - mc.tfaw_c + 2)
+        mc._record_act(0, 2 * spread, now - mc.tfaw_c + 2 + mc.trrd_s_c)
+
+    def test_saturated_rank_with_waiting_demand_pairs(self):
+        __, mc, engine, state, demand, now = self._saturated_system()
+        self._saturate_rank(mc, now)
+        mc.read_q.append(demand)
+        assert mc.act_pressure(0, now) >= engine.pressure_threshold
+        assert engine.urgent(now)
+        assert mc.stats.hira_refresh_parallelized == 1
+        assert mc.stats.solo_refreshes == 0
+        assert state.credit == 1  # the partner came from the future stream
+
+    def test_idle_rank_does_not_pull_forward(self):
+        __, mc, engine, state, demand, now = self._saturated_system()
+        mc.read_q.append(demand)  # demand alone is not enough
+        assert mc.act_pressure(0, now) < engine.pressure_threshold
+        assert engine.urgent(now)
+        assert mc.stats.hira_refresh_parallelized == 0
+        assert mc.stats.solo_refreshes == 1
+        assert state.credit == 0
+
+    def test_saturated_rank_without_demand_stays_solo(self):
+        __, mc, engine, state, __demand, now = self._saturated_system()
+        self._saturate_rank(mc, now)
+        assert engine.urgent(now)
+        assert mc.stats.hira_refresh_parallelized == 0
+        assert mc.stats.solo_refreshes == 1
+        assert state.credit == 0
+
+    def test_pulled_forward_credit_cancels_next_generation(self):
+        __, mc, engine, state, demand, now = self._saturated_system()
+        self._saturate_rank(mc, now)
+        mc.read_q.append(demand)
+        assert engine.urgent(now)
+        assert state.credit == 1
+        generated_before = mc.stats.periodic_generated
+        import heapq
+
+        state.next_gen = now + 1
+        heapq.heappush(engine._gen_heap, (now + 1, 0, 0))
+        engine._advance_generation(now + 1)
+        # The credited generation is consumed, not queued.
+        assert state.credit == 0
+        assert not state.pending
+        assert mc.stats.periodic_generated == generated_before
+
+    def test_spilled_preventive_keeps_original_deadline(self):
+        from repro.core.pr_fifo import PreventiveRequest
+
+        __, mc, engine, state, __demand, now = self._saturated_system()
+        state.pending.clear()
+        far = now + 10_000
+        for i in range(engine.pr_fifo_depth):  # fill bank 0's PR-FIFO
+            assert engine.pr[0].push(0, PreventiveRequest(row=100 + i, deadline=far))
+        spill_deadline = far - 1
+        engine._requeue_row(0, 0, 999, spill_deadline)
+        assert list(engine._preventive) == [(0, 0, 999, spill_deadline)]
+        # Free a slot: the next urgent() re-admits the spilled request
+        # with its original deadline, not a fresh now + slack stamp.
+        engine.pr[0].pop(0)
+        engine.urgent(now)
+        assert not engine._preventive
+        for __ in range(engine.pr_fifo_depth - 1):
+            engine.pr[0].pop(0)
+        readmitted = engine.pr[0].head(0)
+        assert readmitted.row == 999
+        assert readmitted.deadline == spill_deadline
+
+    def test_spill_readmission_skips_blocked_banks(self):
+        from repro.core.pr_fifo import PreventiveRequest
+
+        __, mc, engine, state, __demand, now = self._saturated_system()
+        state.pending.clear()
+        far = now + 10_000
+        for i in range(engine.pr_fifo_depth):  # bank 0's FIFO stays full
+            assert engine.pr[0].push(0, PreventiveRequest(row=100 + i, deadline=far))
+        engine._queue_preventive(0, 0, 999, far - 2)  # blocked bank first
+        engine._queue_preventive(0, 1, 888, far - 1)  # free bank behind it
+        assert engine.urgent(now)
+        # Bank 1's spill was re-admitted (original deadline intact) even
+        # though bank 0's sat ahead of it; bank 0's was serviced
+        # opportunistically by the overflow path.
+        readmitted = engine.pr[0].head(1)
+        assert readmitted.row == 888
+        assert readmitted.deadline == far - 1
+        assert not engine._preventive
+        assert mc.stats.solo_refreshes == 1
+
+    def test_demand_act_under_pressure_defers_periodic_riding(self):
+        __, mc, engine, state, demand, now = self._saturated_system()
+        # Give the periodic request ample slack so riding is optional.
+        state.pending.clear()
+        state.pending.append(now + 10 * mc.trc_c)
+        self._saturate_rank(mc, now)
+        assert engine.on_act(demand, now) is None  # slot saved for a pair
+        assert state.pending  # request still queued
+        # The same request rides a demand ACT when the rank is idle.
+        mc.ranks[0].faw.clear()
+        assert engine.on_act(demand, now) is not None

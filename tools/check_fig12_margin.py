@@ -1,0 +1,64 @@
+"""Gate on the fig 12 speedup margin: HiRA vs baseline at high capacity.
+
+Reads the JSON produced by ``repro sweep --json-out`` and fails (exit 1)
+if HiRA's mean weighted speedup, normalized to the baseline at the same
+capacity, falls below the required floor.  CI runs this after the
+quick-mode margin smoke sweep so a scheduler or timing-model change that
+erodes HiRA's margin over the baseline is caught on the PR.
+
+Usage::
+
+    python tools/check_fig12_margin.py fig12-margin.json \
+        --hira HiRA-2 --baseline baseline --min-margin 1.08
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def margins(payload: dict, hira: str, baseline: str) -> dict[float, float]:
+    """Per-capacity HiRA/baseline weighted-speedup ratios."""
+    ws: dict[tuple[float, str], float] = {}
+    for cell in payload["cells"]:
+        coords = cell["coords"]
+        capacity = float(coords.get("capacity_gbit", 0.0))
+        ws[(capacity, coords["cfg"])] = cell["mean_ws"]
+    out: dict[float, float] = {}
+    for (capacity, cfg), value in ws.items():
+        if cfg != hira:
+            continue
+        base = ws.get((capacity, baseline))
+        if base is None:
+            raise SystemExit(f"no {baseline!r} cell at {capacity} Gbit")
+        out[capacity] = value / base
+    if not out:
+        raise SystemExit(f"no {hira!r} cells in {payload.get('name')!r}")
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path")
+    parser.add_argument("--hira", default="HiRA-2")
+    parser.add_argument("--baseline", default="baseline")
+    parser.add_argument("--min-margin", type=float, default=1.08,
+                        help="fail below this HiRA/baseline ratio")
+    args = parser.parse_args(argv)
+    payload = json.loads(open(args.json_path).read())
+    failed = False
+    for capacity, margin in sorted(margins(payload, args.hira, args.baseline).items()):
+        verdict = "ok" if margin >= args.min_margin else "REGRESSED"
+        if margin < args.min_margin:
+            failed = True
+        print(
+            f"{args.hira} / {args.baseline} @ {capacity:.0f} Gbit: "
+            f"{margin:.4f} (floor {args.min_margin:.2f}) {verdict}"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Measure the quick-mode HiRA-vs-baseline margin at a given capacity.
+
+Usage: PYTHONPATH=src python tools/measure_margin.py [capacity] [mixes] [instr]
+
+Runs the same points the fig 9/12 benches use (seed = 100 + mix_id) and
+prints the mean weighted speedup per configuration plus HiRA-2's margin
+over the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.sim.config import SystemConfig
+from repro.sim.system import System
+from repro.workloads.mixes import mix_for
+
+
+def mean_ws(config: SystemConfig, n_mixes: int, instr: int) -> float:
+    total = 0.0
+    for mix_id in range(n_mixes):
+        mix = mix_for(mix_id, cores=config.cores)
+        system = System(config, mix, seed=100 + mix_id, instr_budget=instr)
+        total += system.run(max_cycles=10_000_000).weighted_speedup
+    return total / n_mixes
+
+
+def main() -> int:
+    capacity = float(sys.argv[1]) if len(sys.argv) > 1 else 128.0
+    n_mixes = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    instr = int(sys.argv[3]) if len(sys.argv) > 3 else 100_000
+    results = {}
+    for label, overrides in (
+        ("baseline", {"refresh_mode": "baseline"}),
+        ("hira-2", {"refresh_mode": "hira", "tref_slack_acts": 2}),
+    ):
+        config = SystemConfig(capacity_gbit=capacity, **overrides)
+        results[label] = mean_ws(config, n_mixes, instr)
+        print(f"{label}: {results[label]:.4f}", flush=True)
+    margin = results["hira-2"] / results["baseline"]
+    print(f"margin (HiRA-2 / baseline) @ {capacity:.0f} Gbit: {margin:.4f}")
+    print(json.dumps({"capacity_gbit": capacity, **results, "margin": margin}))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
