@@ -1,0 +1,70 @@
+"""Kernel throughput benchmark: events/sec on pinned seeded workloads.
+
+Runs the quick-mode Fig. 12 single points (see
+:mod:`repro.perf`) and writes ``BENCH_kernel.json`` next to the other
+bench outputs, so the event-kernel's speed is tracked alongside the
+figures it produces.  Set ``REPRO_PERF_FLOOR`` (events/sec) to turn the
+run into a pass/fail smoke check — the CI ``kernel-perf-smoke`` job does
+this with a floor ~20% under the measured post-optimization number.
+
+The workloads are single-process and seeded: no multi-core gating is
+needed (contrast ``bench_orchestrator.py``, whose parallel speedup
+contract only holds when ``os.sched_getaffinity`` grants >= 2 CPUs).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.tables import format_table
+from repro.perf import measure_kernel, write_bench
+
+from benchmarks.conftest import RESULTS_DIR, emit, scale
+
+FLOOR = float(os.environ.get("REPRO_PERF_FLOOR", "0") or "0")
+
+
+def build_kernel_perf():
+    payload = measure_kernel(
+        instr_budget=scale(100_000, 400_000), reps=scale(3, 5)
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench(payload, RESULTS_DIR / "BENCH_kernel.json")
+    return payload
+
+
+def test_kernel_perf(benchmark):
+    payload = benchmark.pedantic(build_kernel_perf, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            f"{row['wall_s']:.2f}",
+            f"{row['events_per_sec']:,.0f}",
+            f"{row['speedup_vs_pre_pr']:.2f}x" if "speedup_vs_pre_pr" in row else "-",
+        ]
+        for name, row in payload["workloads"].items()
+    ]
+    totals = payload["totals"]
+    rows.append([
+        "TOTAL",
+        f"{totals['wall_s']:.2f}",
+        f"{totals['events_per_sec']:,.0f}",
+        f"{totals['speedup_vs_pre_pr']:.2f}x" if "speedup_vs_pre_pr" in totals else "-",
+    ])
+    emit(
+        "kernel_perf",
+        format_table(
+            ["workload", "wall (s)", "events/s", "vs pre-opt"],
+            rows,
+            title=f"Event-kernel throughput ({payload['machine']['cpus']} CPU)",
+        ),
+    )
+    # Sanity: every workload actually simulated work.
+    for name, row in payload["workloads"].items():
+        assert row["events"] > 0, name
+        assert row["wall_s"] > 0, name
+    if FLOOR:
+        assert totals["events_per_sec"] >= FLOOR, (
+            f"kernel throughput {totals['events_per_sec']:,.0f} events/s "
+            f"fell below the smoke floor {FLOOR:,.0f}"
+        )

@@ -18,6 +18,13 @@ from repro.orchestrator.pool import available_cores
 
 from benchmarks.conftest import RESULTS_DIR, emit, scale
 
+
+#: Whether this process may actually run on >= 2 CPUs (sched_getaffinity,
+#: not cpu_count: a cgroup-pinned container reports all host CPUs).
+#: Wall-clock speedup assertions are only meaningful then — on a 1-CPU
+#: runner multiprocessing works but cannot beat serial execution.
+MULTICORE = available_cores() >= 2
+
 N_WORKERS = 4
 SWEEP = Sweep(
     name="orchestrator-bench",
@@ -87,6 +94,8 @@ def test_orchestrator_speedup(benchmark):
     # Contract 2: a warm cache replays the figure in <10% of the cold time.
     assert warm.cache_hits == len(warm)
     assert t_warm < 0.10 * t_parallel
-    # Contract 3: sharding pays for itself when cores exist for it.
-    if cores >= 2:
+    # Contract 3: sharding pays for itself — but only where the scheduler
+    # can actually grant parallelism (gated on sched_getaffinity, not
+    # cpu_count: a cgroup-pinned container reports all host CPUs).
+    if MULTICORE:
         assert t_parallel < t_serial * 0.9

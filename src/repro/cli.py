@@ -1,11 +1,12 @@
 """Command-line entry points for the reproduction.
 
-Four subcommands mirror the repository's main workflows:
+Five subcommands mirror the repository's main workflows:
 
 - ``characterize`` — run the §4 experiments on a tested module.
 - ``simulate`` — one cycle-level run of a refresh configuration.
 - ``sweep`` — an orchestrated parameter-grid sweep (parallel + cached).
 - ``security`` — print PARA's (revisited) configuration for a threshold.
+- ``perf`` — measure kernel throughput and write ``BENCH_kernel.json``.
 
 Usage::
 
@@ -14,6 +15,7 @@ Usage::
     python -m repro.cli sweep --modes baseline,hira --capacities 8,32 \
         --mixes 2 --workers 4 --cache-dir .sweep-cache
     python -m repro.cli security --nrh 128 --slack 4
+    python -m repro.cli perf --out BENCH_kernel.json
 """
 
 from __future__ import annotations
@@ -201,6 +203,39 @@ def _cmd_security(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf import measure_kernel, write_bench
+
+    payload = measure_kernel(instr_budget=args.instructions, reps=args.reps)
+    rows = []
+    for name, row in payload["workloads"].items():
+        rows.append([
+            name,
+            f"{row['wall_s']:.2f}",
+            f"{row['events_per_sec']:,.0f}",
+            f"{row['cycles_per_sec']:,.0f}",
+            f"{row['speedup_vs_pre_pr']:.2f}x" if "speedup_vs_pre_pr" in row else "-",
+        ])
+    totals = payload["totals"]
+    rows.append([
+        "TOTAL",
+        f"{totals['wall_s']:.2f}",
+        f"{totals['events_per_sec']:,.0f}",
+        "",
+        f"{totals['speedup_vs_pre_pr']:.2f}x" if "speedup_vs_pre_pr" in totals else "-",
+    ])
+    print(format_table(
+        ["workload", "wall (s)", "events/s", "cycles/s", "vs pre-opt"],
+        rows,
+        title=f"Kernel throughput ({payload['machine']['cpus']} CPU, "
+        f"python {payload['machine']['python']}, {args.reps} reps)",
+    ))
+    if args.out:
+        write_bench(payload, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -249,6 +284,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nrh", type=float, default=128.0)
     p.add_argument("--slack", type=int, default=0)
     p.set_defaults(func=_cmd_security)
+
+    p = sub.add_parser("perf", help="measure kernel throughput (events/sec)")
+    p.add_argument("--instructions", type=int, default=100_000)
+    p.add_argument("--reps", type=int, default=3,
+                   help="runs per workload; the median wall time is reported")
+    p.add_argument("--out", default="BENCH_kernel.json",
+                   help="output JSON path ('' disables writing); floors are "
+                        "checked by tools/check_kernel_perf.py")
+    p.set_defaults(func=_cmd_perf)
     return parser
 
 

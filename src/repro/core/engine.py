@@ -32,7 +32,7 @@ from repro.sim.request import Request
 _FAR_FUTURE = 1 << 60
 
 
-@dataclass
+@dataclass(slots=True)
 class _BankPeriodicState:
     """Lazily generated periodic refresh stream for one (rank, bank)."""
 
@@ -102,6 +102,18 @@ class HiraRefreshEngine(RefreshEngine):
         #: Banks that currently hold at least one pending refresh request;
         #: keeps deadline scans O(active banks) instead of O(all banks).
         self._active: set[tuple[int, int]] = set()
+        #: Memoized min raw deadline across active banks.  Raw deadlines
+        #: only change when a pending queue is pushed or popped (they do
+        #: not drift with time), so the memo is valid until the structure
+        #: changes — letting ``urgent`` skip its scan while nothing is due.
+        self._struct_dirty = True
+        self._min_deadline = _FAR_FUTURE
+        #: Cache of each active bank's raw deadline (min of periodic head +
+        #: slack and PR-FIFO head), maintained at the same push/pop
+        #: chokepoints that maintain ``_active``.  Consumers fall back to
+        #: the formula for keys injected around the cache (tests poke
+        #: engine internals directly).
+        self._bank_deadline: dict[tuple[int, int], int] = {}
         total_banks = config.ranks_per_channel * geom.banks_per_rank
         index = 0
         for rank in range(config.ranks_per_channel):
@@ -117,6 +129,8 @@ class HiraRefreshEngine(RefreshEngine):
     # ------------------------------------------------------------------
     def _advance_generation(self, now: int) -> None:
         heap = self._gen_heap
+        if not heap or heap[0][0] > now:
+            return
         while heap and heap[0][0] <= now:
             __, rank, bank = heapq.heappop(heap)
             state = self._periodic[(rank, bank)]
@@ -128,17 +142,42 @@ class HiraRefreshEngine(RefreshEngine):
             else:
                 state.pending.append(int(state.next_gen))
                 self.mc.stats.periodic_generated += 1
-                self._active.add((rank, bank))
+                key = (rank, bank)
+                self._active.add(key)
+                if len(state.pending) == 1:
+                    deadline = int(state.next_gen) + self.slack_c
+                    head = self.pr[rank].head(bank)
+                    if head is not None and head.deadline < deadline:
+                        deadline = head.deadline
+                    self._bank_deadline[key] = deadline
             state.next_gen += state.period
             heapq.heappush(heap, (int(state.next_gen), rank, bank))
+        # New pending requests mean new deadlines: invalidate the memoized
+        # next_event (generation can fire outside a command issue).
+        self._struct_dirty = True
+        self.mc.mark_dirty()
 
     def _refresh_active(self, rank: int, bank: int) -> None:
-        """Recompute a bank's membership in the active set."""
+        """Recompute a bank's membership in the active set (and its cached
+        raw deadline)."""
+        self._struct_dirty = True
         key = (rank, bank)
-        if self._periodic[key].pending or self.pr[rank].head(bank) is not None:
+        deadline = self._raw_deadline(key)
+        if deadline != _FAR_FUTURE:
             self._active.add(key)
+            self._bank_deadline[key] = deadline
         else:
             self._active.discard(key)
+            self._bank_deadline.pop(key, None)
+
+    def _raw_deadline(self, key: tuple[int, int]) -> int:
+        """A bank's earliest pending deadline, straight from the queues."""
+        pending = self._periodic[key].pending
+        head = self.pr[key[0]].head(key[1])
+        deadline = pending[0] + self.slack_c if pending else _FAR_FUTURE
+        if head is not None and head.deadline < deadline:
+            deadline = head.deadline
+        return deadline
 
     def _periodic_deadline(self, state: _BankPeriodicState) -> int:
         return state.pending[0] + self.slack_c if state.pending else _FAR_FUTURE
@@ -223,24 +262,48 @@ class HiraRefreshEngine(RefreshEngine):
                 if self.pr[rank].push(
                     bank_id, PreventiveRequest(row=row, deadline=deadline)
                 ):
-                    self._active.add((rank, bank_id))
+                    key = (rank, bank_id)
+                    self._active.add(key)
+                    self._bank_deadline[key] = self._raw_deadline(key)
                 else:
                     spilled.append((rank, bank_id, row, deadline))
+            if len(spilled) != len(self._preventive):
+                # Re-admitted entries regain deadline-driven scheduling:
+                # the memoized next_event must see the new deadlines.
+                self._struct_dirty = True
+                self.mc.mark_dirty()
             self._preventive = spilled
         if self._service_preventive(now):  # PR-FIFO overflow path
             return True
         self._advance_generation(now)
         mc = self.mc
         cutoff = now + mc.trc_c
-        for rank, bank_id in list(self._active):
-            periodic = self._periodic[(rank, bank_id)]
-            head = self.pr[rank].head(bank_id)
-            deadline = min(
-                self._periodic_deadline(periodic),
-                head.deadline if head else _FAR_FUTURE,
-            )
+        bank_deadline = self._bank_deadline
+        raw_deadline = self._raw_deadline
+        if self._struct_dirty:
+            soonest = _FAR_FUTURE
+            for key in self._active:
+                deadline = bank_deadline.get(key)
+                if deadline is None:
+                    deadline = raw_deadline(key)
+                if deadline < soonest:
+                    soonest = deadline
+            self._min_deadline = soonest
+            self._struct_dirty = False
+        if self._min_deadline > cutoff:
+            # Nothing approaches its deadline: the scan below would issue
+            # nothing (raw deadlines move only on push/pop, never with
+            # time, so the memo stays exact until the structure changes).
+            return False
+        # Iterating the set directly is safe: the loop either leaves the
+        # set untouched (continue) or mutates it and returns immediately.
+        for key in self._active:
+            deadline = bank_deadline.get(key)
+            if deadline is None:
+                deadline = raw_deadline(key)
             if deadline > cutoff:
                 continue
+            rank, bank_id = key
             if not mc.rank_available(rank, now):
                 continue
             bank = mc.bank(rank, bank_id)
@@ -348,7 +411,11 @@ class HiraRefreshEngine(RefreshEngine):
         """
         request = PreventiveRequest(row=row, deadline=deadline)
         if self.pr[rank].push(bank_id, request):
-            self._active.add((rank, bank_id))
+            key = (rank, bank_id)
+            self._active.add(key)
+            self._bank_deadline[key] = self._raw_deadline(key)
+            self._struct_dirty = True
+            self.mc.mark_dirty()
         else:
             self._queue_preventive(rank, bank_id, row, deadline)
 
@@ -358,30 +425,38 @@ class HiraRefreshEngine(RefreshEngine):
         mc = self.mc
         soonest = self._preventive_deadline(now)
         trc = mc.trc_c
-        for rank, bank_id in self._active:
-            periodic = self._periodic[(rank, bank_id)]
-            head = self.pr[rank].head(bank_id)
-            deadline = min(
-                self._periodic_deadline(periodic),
-                head.deadline if head else _FAR_FUTURE,
-            )
+        ranks = mc.ranks
+        bank_deadline = self._bank_deadline
+        raw_deadline = self._raw_deadline
+        for key in self._active:
+            deadline = bank_deadline.get(key)
+            if deadline is None:
+                deadline = raw_deadline(key)
             if deadline == _FAR_FUTURE:
                 continue
+            rank, bank_id = key
             wake = deadline - trc
             if wake <= now:
                 # Already due: report the true cycle the refresh can issue
                 # (bank/rank gates) instead of clamping to now + 1, which
                 # would busy-spin the event loop one cycle at a time.
                 bank = mc.bank(rank, bank_id)
-                gate = mc.ranks[rank].busy_until
+                gate = ranks[rank].busy_until
                 if bank.open_row is not None:
-                    gate = max(gate, bank.next_pre)
+                    if bank.next_pre > gate:
+                        gate = bank.next_pre
                 else:
-                    gate = max(gate, mc.act_allowed_at(rank, bank_id))
-                wake = max(wake, gate)
-            soonest = min(soonest, wake)
+                    act_gate = mc.act_allowed_at(rank, bank_id)
+                    if act_gate > gate:
+                        gate = act_gate
+                if gate > wake:
+                    wake = gate
+            if wake < soonest:
+                soonest = wake
         if self._gen_heap:
-            soonest = min(soonest, self._gen_heap[0][0] + self.slack_c - trc)
+            gen_wake = self._gen_heap[0][0] + self.slack_c - trc
+            if gen_wake < soonest:
+                soonest = gen_wake
         return soonest
 
     # ------------------------------------------------------------------

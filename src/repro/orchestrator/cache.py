@@ -4,6 +4,14 @@ Entries are small JSON files (``<root>/<key[:2]>/<key>.json``) holding a
 serialized :class:`SimResult` plus the point's human-readable coordinates
 for debuggability.  Writes are atomic (tmp + rename) so concurrent sweep
 processes sharing a cache directory never observe torn entries.
+
+Every entry is additionally stamped with the :func:`source_fingerprint`
+of the simulator package at write time, and :meth:`ResultCache.get`
+treats a stamp mismatch as a miss.  The sweep-point key already folds the
+fingerprint in, but the stamp guards the cache *itself*: entries written
+by older code (different key schema, hand-supplied keys, or a pre-stamp
+layout) can never silently replay results produced by different
+scheduler/engine behavior.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ import os
 from dataclasses import asdict
 from pathlib import Path
 
+from repro.orchestrator.hashing import source_fingerprint
 from repro.sim.controller import ControllerStats
 from repro.sim.system import SimResult
 
@@ -47,10 +56,18 @@ def result_from_dict(data: dict) -> SimResult:
 
 
 class ResultCache:
-    """A directory of cached simulation results, keyed by content hash."""
+    """A directory of cached simulation results, keyed by content hash.
 
-    def __init__(self, root: str | Path):
+    ``fingerprint`` defaults to the live package's source fingerprint;
+    entries carrying a different (or missing) stamp are treated as misses
+    so behavior changes in the simulator can never replay stale results.
+    """
+
+    def __init__(self, root: str | Path, fingerprint: str | None = None):
         self.root = Path(root)
+        self.fingerprint = (
+            source_fingerprint() if fingerprint is None else fingerprint
+        )
         self.hits = 0
         self.misses = 0
 
@@ -64,13 +81,22 @@ class ResultCache:
         except (FileNotFoundError, json.JSONDecodeError):
             self.misses += 1
             return None
+        if data.get("code") != self.fingerprint:
+            # Written by a different simulator source tree: stale.
+            self.misses += 1
+            return None
         self.hits += 1
         return result_from_dict(data["result"])
 
     def put(self, key: str, result: SimResult, describe: dict | None = None) -> None:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        body = {"key": key, "describe": describe or {}, "result": result_to_dict(result)}
+        body = {
+            "key": key,
+            "code": self.fingerprint,
+            "describe": describe or {},
+            "result": result_to_dict(result),
+        }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(body, separators=(",", ":")))
         os.replace(tmp, path)

@@ -22,22 +22,36 @@ from pathlib import Path
 SCHEMA_VERSION = 1
 
 
-@functools.lru_cache(maxsize=1)
-def source_fingerprint() -> str:
+def source_fingerprint(root: str | None = None) -> str:
     """A digest of the whole ``repro`` package source.
 
-    Folded into every sweep point's cache key so that *any* code change
-    invalidates previously cached results — nobody has to remember to bump
-    ``SCHEMA_VERSION`` after editing the simulator.  Conservative on
-    purpose: a comment-only edit also invalidates, which costs one cold
-    re-run rather than ever replaying stale figures.
+    Folded into every sweep point's cache key *and* stamped into every
+    :class:`~repro.orchestrator.cache.ResultCache` entry so that *any*
+    code change invalidates previously cached results — nobody has to
+    remember to bump ``SCHEMA_VERSION`` after editing the simulator.
+    Conservative on purpose: a comment-only edit also invalidates, which
+    costs one cold re-run rather than ever replaying stale figures.
+
+    ``root`` defaults to the installed ``src/repro`` tree (memoized for
+    the life of the process); tests pass a copy to prove that edits
+    anywhere in the package change the digest.
     """
-    root = Path(__file__).resolve().parent.parent  # src/repro
+    if root is None:
+        return _package_fingerprint()
+    return _digest_tree(Path(root))
+
+
+def _digest_tree(base: Path) -> str:
     digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
-        digest.update(str(path.relative_to(root)).encode("utf-8"))
+    for path in sorted(base.rglob("*.py")):
+        digest.update(str(path.relative_to(base)).encode("utf-8"))
         digest.update(path.read_bytes())
     return digest.hexdigest()[:16]
+
+
+@functools.lru_cache(maxsize=1)
+def _package_fingerprint() -> str:
+    return _digest_tree(Path(__file__).resolve().parent.parent)  # src/repro
 
 
 def canonical(obj):

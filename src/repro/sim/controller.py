@@ -9,6 +9,7 @@ replaces them with HiRA operations scheduled around demand accesses.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -18,7 +19,7 @@ from repro.sim.request import Request
 _FAR_FUTURE = 1 << 60
 
 
-@dataclass
+@dataclass(slots=True)
 class _BankState:
     open_row: int | None = None
     next_act: int = 0
@@ -26,7 +27,7 @@ class _BankState:
     next_rdwr: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _RankState:
     faw: deque = field(default_factory=deque)
     ref_due: int = 0
@@ -42,7 +43,7 @@ class _RankState:
     ref_ready: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ControllerStats:
     """Per-channel event counters."""
 
@@ -109,38 +110,63 @@ class RefreshEngine:
     def _queue_preventive(self, rank: int, bank_id: int, row: int, deadline: int) -> None:
         """Overflow queue for preventive refreshes, keeping each deadline."""
         self._preventive.append((rank, bank_id, row, deadline))
+        self.mc.mark_dirty()
 
     def _service_preventive(self, now: int) -> bool:
         """Perform the oldest feasible queued preventive refresh."""
+        pending = self._preventive
+        if not pending:
+            return False
         mc = self.mc
-        for i, (rank, bank_id, row, __) in enumerate(self._preventive):
-            if not mc.rank_available(rank, now):
+        banks = mc._banks
+        ranks = mc.ranks
+        for i, (rank, bank_id, row, __) in enumerate(pending):
+            if now < ranks[rank].busy_until:
                 continue
-            bank = mc.bank(rank, bank_id)
+            bank = banks[rank][bank_id]
             if bank.open_row is not None:
                 if now >= bank.next_pre:
                     mc.issue_pre(rank, bank_id, now)
                     return True
                 continue
             if now >= bank.next_act and mc.faw_ok(rank, now) and mc.trrd_ok(rank, bank_id, now):
-                del self._preventive[i]
+                del pending[i]
                 mc.issue_solo_refresh(rank, bank_id, now)
                 return True
         return False
 
     def _preventive_deadline(self, now: int) -> int:
-        if not self._preventive:
+        pending = self._preventive
+        if not pending:
             return _FAR_FUTURE
         mc = self.mc
+        banks = mc._banks
+        ranks = mc.ranks
+        tfaw_c = mc.tfaw_c
+        bpg = mc.banks_per_bankgroup
         soonest = _FAR_FUTURE
-        for rank, bank_id, __, __dl in self._preventive:
-            bank = mc.bank(rank, bank_id)
+        for rank, bank_id, __, __dl in pending:
+            bank = banks[rank][bank_id]
+            rank_state = ranks[rank]
             if bank.open_row is not None:
                 gate = bank.next_pre
             else:
-                gate = mc.act_allowed_at(rank, bank_id)
-            gate = max(gate, mc.ranks[rank].busy_until)
-            soonest = min(soonest, gate)
+                # act_allowed_at, inlined (this scan is on the hot path).
+                gate = bank.next_act
+                faw = rank_state.faw
+                if len(faw) >= 4:
+                    faw_gate = faw[0] + tfaw_c
+                    if faw_gate > gate:
+                        gate = faw_gate
+                if rank_state.next_act_any > gate:
+                    gate = rank_state.next_act_any
+                group_gate = rank_state.next_act_group[bank_id // bpg]
+                if group_gate > gate:
+                    gate = group_gate
+            if rank_state.busy_until > gate:
+                gate = rank_state.busy_until
+            if gate < soonest:
+                soonest = gate
         return soonest
 
     # -- Policy hooks ------------------------------------------------------
@@ -200,11 +226,14 @@ class BaselineRefreshEngine(RefreshEngine):
         return False
 
     def next_deadline(self, now: int) -> int:
-        ref = min(
-            (max(rank.ref_due, rank.ref_ready) for rank in self.mc.ranks),
-            default=_FAR_FUTURE,
-        )
-        return min(ref, self._preventive_deadline(now))
+        soonest = self._preventive_deadline(now)
+        for rank in self.mc.ranks:
+            due = rank.ref_due
+            if rank.ref_ready > due:
+                due = rank.ref_ready
+            if due < soonest:
+                soonest = due
+        return soonest
 
 
 class MemoryController:
@@ -243,6 +272,8 @@ class MemoryController:
         ]
         self.read_q: list[Request] = []
         self.write_q: list[Request] = []
+        self._reads_first = (self.read_q, self.write_q)
+        self._writes_first = (self.write_q, self.read_q)
         #: Ranks a refresh engine is draining for an imminent REF; demand
         #: to these ranks is deferred so the drain cannot be starved.
         self.blocked_ranks: set[int] = set()
@@ -250,8 +281,23 @@ class MemoryController:
         self.data_bus_next = 0
         self._draining_writes = False
         #: Deferred single commands (e.g. the PRE closing a refresh-refresh
-        #: HiRA pair) as (cycle, rank, bank) bus reservations.
+        #: HiRA pair) as a min-heap of (cycle, rank, bank) bus reservations.
         self._scheduled_closes: list[tuple[int, int, int]] = []
+        #: Queued demand requests (both queues) per (rank, bank) — kept
+        #: incrementally at enqueue/dequeue so ``demand_waiting`` is O(1).
+        self._bank_demand = [
+            [0] * self.banks_per_rank for __ in range(config.ranks_per_channel)
+        ]
+        #: Queued requests per (rank, bank, row), split by queue, so
+        #: ``_row_hit_waiting`` is an O(1) lookup.
+        self._row_demand_read: dict[tuple[int, int, int], int] = {}
+        self._row_demand_write: dict[tuple[int, int, int], int] = {}
+        #: ``next_event`` memo: valid while ``_dirty`` is False and the
+        #: cached cycle is still in the future.  Every mutation that can
+        #: create an earlier event — command issue, enqueue, dequeue, or a
+        #: refresh-engine state change — sets ``_dirty``.
+        self._dirty = True
+        self._next_event_cache = -1
         self.stats = ControllerStats()
         self.completions: list[tuple[int, Request]] = []
         #: Optional :class:`repro.sim.audit.CommandAuditor` observing the
@@ -263,6 +309,14 @@ class MemoryController:
     # ------------------------------------------------------------------
     # State access helpers (also used by refresh engines)
     # ------------------------------------------------------------------
+    def mark_dirty(self) -> None:
+        """Invalidate the ``next_event`` memo.
+
+        Called by every command-issue primitive and by refresh engines
+        whenever they mutate deadline-bearing state outside an issue (e.g.
+        periodic request generation, PR-FIFO re-admission)."""
+        self._dirty = True
+
     def bank(self, rank: int, bank: int) -> _BankState:
         return self._banks[rank][bank]
 
@@ -309,15 +363,25 @@ class MemoryController:
         return now >= rank_state.next_act_group[group]
 
     def act_allowed_at(self, rank: int, bank_id: int) -> int:
-        """Earliest cycle the bank's next ACT satisfies every rank gate."""
+        """Earliest cycle the bank's next ACT satisfies every rank gate.
+
+        KEEP IN LOCKSTEP: this formula is hand-inlined in two hot scans —
+        ``RefreshEngine._preventive_deadline`` and ``next_event`` (both
+        marked "act_allowed_at, inlined").  A new ACT gate (e.g. tRTP,
+        DDR5 REFsb) must be added to all three or the event loop's wake
+        times diverge from the issue-time legality checks.
+        """
         rank_state = self.ranks[rank]
-        group = bank_id // self.banks_per_bankgroup
-        return max(
-            self.bank(rank, bank_id).next_act,
-            self.faw_next(rank),
-            rank_state.next_act_any,
-            rank_state.next_act_group[group],
-        )
+        faw = rank_state.faw
+        gate = self._banks[rank][bank_id].next_act
+        if len(faw) >= 4:
+            faw_gate = faw[0] + self.tfaw_c
+            if faw_gate > gate:
+                gate = faw_gate
+        if rank_state.next_act_any > gate:
+            gate = rank_state.next_act_any
+        group_gate = rank_state.next_act_group[bank_id // self.banks_per_bankgroup]
+        return group_gate if group_gate > gate else gate
 
     def _record_act(self, rank: int, bank_id: int, now: int) -> None:
         rank_state = self.ranks[rank]
@@ -348,12 +412,9 @@ class MemoryController:
 
         The Concurrent Refresh Finder uses this to decide if a bank's
         *time* is contended: pairing two refreshes into one bank-busy
-        window only pays off when demand is waiting to use the bank."""
-        for queue in (self.read_q, self.write_q):
-            for req in queue:
-                if req.addr.rank == rank and req.addr.bank == bank_id:
-                    return True
-        return False
+        window only pays off when demand is waiting to use the bank.
+        O(1): the per-bank counters are maintained at enqueue/dequeue."""
+        return self._bank_demand[rank][bank_id] > 0
 
     # ------------------------------------------------------------------
     # Command issue primitives
@@ -365,6 +426,7 @@ class MemoryController:
         rank_state = self.ranks[rank]
         rank_state.ref_ready = max(rank_state.ref_ready, now + self.trp_c)
         self.bus_next = now + 1
+        self._dirty = True
         self.stats.pres += 1
         if self.auditor is not None:
             self.auditor.on_pre(now, rank, bank_id)
@@ -377,6 +439,7 @@ class MemoryController:
         bank.next_act = now + self.trc_c
         self._record_act(rank, bank_id, now)
         self.bus_next = now + 1
+        self._dirty = True
         self.stats.acts += 1
         self.stats.row_misses += 1
         if self.auditor is not None:
@@ -400,6 +463,7 @@ class MemoryController:
         # Three commands (ACT, PRE, ACT) occupy three bus slots; the bus is
         # free between them for other banks.
         self.bus_next = now + 3
+        self._dirty = True
         self.stats.acts += 2
         self.stats.pres += 1
         self.stats.hira_access_parallelized += 1
@@ -422,7 +486,8 @@ class MemoryController:
         self._record_act(rank, bank_id, now)
         self._record_act(rank, bank_id, now + self.hira_gap_c)
         self.bus_next = now + 3
-        self._scheduled_closes.append((close, rank, bank_id))
+        self._dirty = True
+        heapq.heappush(self._scheduled_closes, (close, rank, bank_id))
         self.stats.acts += 2
         self.stats.pres += 2
         self.stats.hira_refresh_parallelized += 1
@@ -442,7 +507,8 @@ class MemoryController:
         rank_state.ref_ready = max(rank_state.ref_ready, close + self.trp_c)
         self._record_act(rank, bank_id, now)
         self.bus_next = now + 1
-        self._scheduled_closes.append((close, rank, bank_id))
+        self._dirty = True
+        heapq.heappush(self._scheduled_closes, (close, rank, bank_id))
         self.stats.acts += 1
         self.stats.pres += 1
         self.stats.solo_refreshes += 1
@@ -457,6 +523,7 @@ class MemoryController:
             bank.open_row = None
             bank.next_act = max(bank.next_act, now + self.trfc_c)
         self.bus_next = now + 1
+        self._dirty = True
         self.stats.refs += 1
         if self.auditor is not None:
             self.auditor.on_ref(now, rank_id)
@@ -473,12 +540,19 @@ class MemoryController:
             self.stats.queue_full_rejections += 1
             return False
         queue.append(req)
+        addr = req.addr
+        rank, bank_id, row = addr.rank, addr.bank, addr.row
+        self._bank_demand[rank][bank_id] += 1
+        rows = self._row_demand_write if req.is_write else self._row_demand_read
+        key = (rank, bank_id, row)
+        rows[key] = rows.get(key, 0) + 1
+        self._dirty = True
         return True
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def _active_queues(self) -> list[list[Request]]:
+    def _active_queues(self) -> tuple[list[Request], list[Request]]:
         if self._draining_writes:
             if len(self.write_q) <= self.config.write_drain_low:
                 self._draining_writes = False
@@ -487,19 +561,22 @@ class MemoryController:
         ):
             self._draining_writes = True
         if self._draining_writes:
-            return [self.write_q, self.read_q]
-        return [self.read_q, self.write_q]
+            return self._writes_first
+        return self._reads_first
 
     def schedule(self, now: int) -> bool:
         """Try to issue one command at cycle ``now``; True if issued."""
         if now < self.bus_next:
             return False
         # Deferred closing PREs of refresh operations take precedence.
-        for i, (cycle, rank, bank_id) in enumerate(self._scheduled_closes):
-            if cycle <= now:
-                self._scheduled_closes.pop(i)
-                self.bus_next = now + 1
-                return True
+        # The heap keeps the earliest close on top; a due close consumes
+        # one bus slot (its bank state was already applied at issue time).
+        closes = self._scheduled_closes
+        if closes and closes[0][0] <= now:
+            heapq.heappop(closes)
+            self.bus_next = now + 1
+            self._dirty = True
+            return True
         if self.engine.urgent(now):
             return True
         for queue in self._active_queues():
@@ -511,39 +588,57 @@ class MemoryController:
         if not queue:
             return False
         blocked = self.blocked_ranks
-        # First pass: FR — oldest ready row hit.
-        for idx, req in enumerate(queue):
-            rank, bank_id = req.addr.rank, req.addr.bank
-            if rank in blocked:
-                continue
-            bank = self.bank(rank, bank_id)
-            if (
-                bank.open_row == req.addr.row
-                and now >= bank.next_rdwr
-                and self.rank_available(rank, now)
-                and (req.is_write or now + self.tcl_c >= self.data_bus_next)
-            ):
-                self._issue_column_access(queue, idx, now)
-                return True
+        banks = self._banks
+        ranks = self.ranks
+        # First pass: FR — oldest ready row hit.  Queues are homogeneous
+        # (reads or writes), so the data-bus gate hoists out of the scan:
+        # when it blocks, no read in this queue can issue a column access.
+        if queue is self.write_q or now + self.tcl_c >= self.data_bus_next:
+            for idx, req in enumerate(queue):
+                addr = req.addr
+                rank = addr.rank
+                if rank in blocked:
+                    continue
+                bank = banks[rank][addr.bank]
+                if (
+                    bank.open_row == addr.row
+                    and now >= bank.next_rdwr
+                    and now >= ranks[rank].busy_until
+                ):
+                    self._issue_column_access(queue, idx, now)
+                    return True
         # Second pass: FCFS — advance the oldest request's bank state.
+        # Only the oldest request per (rank, bank) can act: whether an ACT
+        # or a PRE is legal depends on bank/rank state alone, and a younger
+        # conflicting request is always shadowed by the older one (the
+        # open-row keep-alive check spans the whole queue).  Deduplicate
+        # banks with a bitmask so the scan is O(distinct banks).
+        seen = 0
+        banks_per_rank = self.banks_per_rank
         for req in queue:
-            rank, bank_id = req.addr.rank, req.addr.bank
-            if rank in blocked or not self.rank_available(rank, now):
+            addr = req.addr
+            rank, bank_id = addr.rank, addr.bank
+            bit = 1 << (rank * banks_per_rank + bank_id)
+            if seen & bit:
                 continue
-            bank = self.bank(rank, bank_id)
-            if bank.open_row is None:
+            seen |= bit
+            if rank in blocked or now < ranks[rank].busy_until:
+                continue
+            bank = banks[rank][bank_id]
+            open_row = bank.open_row
+            if open_row is None:
                 if now >= bank.next_act and self.faw_ok(rank, now) and self.trrd_ok(rank, bank_id, now):
                     refresh_row = None
                     if self.faw_ok_double(rank, now):
                         refresh_row = self.engine.on_act(req, now)
                     if refresh_row is not None:
-                        self.issue_hira_act(rank, bank_id, refresh_row, req.addr.row, now)
+                        self.issue_hira_act(rank, bank_id, refresh_row, addr.row, now)
                     else:
-                        self.issue_act(rank, bank_id, req.addr.row, now)
+                        self.issue_act(rank, bank_id, addr.row, now)
                     self.engine.on_demand_act(req, now)
                     return True
-            elif bank.open_row != req.addr.row:
-                if now >= bank.next_pre and not self._row_hit_waiting(queue, rank, bank_id, bank.open_row):
+            elif open_row != addr.row:
+                if now >= bank.next_pre and not self._row_hit_waiting(queue, rank, bank_id, open_row):
                     self.issue_pre(rank, bank_id, now)
                     return True
             # Oldest-first: only consider strictly older requests' banks;
@@ -552,17 +647,28 @@ class MemoryController:
         return False
 
     def _row_hit_waiting(self, queue: list[Request], rank: int, bank_id: int, row: int) -> bool:
-        """Whether a queued request still targets the open row (keep it open)."""
-        for req in queue:
-            if req.addr.rank == rank and req.addr.bank == bank_id and req.addr.row == row:
-                return True
-        return False
+        """Whether a queued request still targets the open row (keep it open).
+
+        O(1): per-(rank, bank, row) occupancy counters are maintained at
+        enqueue/dequeue for each queue."""
+        rows = self._row_demand_read if queue is self.read_q else self._row_demand_write
+        return (rank, bank_id, row) in rows
 
     def _issue_column_access(self, queue: list[Request], idx: int, now: int) -> None:
         req = queue.pop(idx)
-        rank, bank_id = req.addr.rank, req.addr.bank
-        bank = self.bank(rank, bank_id)
+        addr = req.addr
+        rank, bank_id = addr.rank, addr.bank
+        self._bank_demand[rank][bank_id] -= 1
+        rows = self._row_demand_write if req.is_write else self._row_demand_read
+        key = (rank, bank_id, addr.row)
+        left = rows[key] - 1
+        if left:
+            rows[key] = left
+        else:
+            del rows[key]
+        bank = self._banks[rank][bank_id]
         self.bus_next = now + 1
+        self._dirty = True
         if req.is_write:
             # Write recovery: the bank may not precharge until tWR after
             # the write data burst (WR + CWL + BL) has fully landed in the
@@ -584,23 +690,78 @@ class MemoryController:
 
     # ------------------------------------------------------------------
     def next_event(self, now: int) -> int:
-        """Earliest future cycle at which scheduling could make progress."""
-        candidates = [self.bus_next]
-        candidates.extend(cycle for cycle, __, __ in self._scheduled_closes)
-        candidates.append(self.engine.next_deadline(now))
+        """Earliest future cycle at which scheduling could make progress.
+
+        Memoized: the candidate set only changes through mutations that
+        set ``_dirty`` (command issues, queue changes, engine updates), and
+        every candidate only grows over time otherwise — so while the
+        controller is clean, a cached value still in the future is exactly
+        what a recomputation would return.
+        """
+        if not self._dirty and self._next_event_cache > now:
+            return self._next_event_cache
+        best = _FAR_FUTURE
+        have_future = False
+        c = self.bus_next
+        if c > now:
+            best = c
+            have_future = True
+        closes = self._scheduled_closes
+        if closes:
+            c = closes[0][0]
+            if c > now:
+                have_future = True
+                if c < best:
+                    best = c
+        c = self.engine.next_deadline(now)
+        if c > now:
+            have_future = True
+            if c < best:
+                best = c
+        banks = self._banks
+        ranks = self.ranks
+        tfaw_c = self.tfaw_c
+        bpg = self.banks_per_bankgroup
         for queue in (self.read_q, self.write_q):
-            for req in queue[:8]:
-                rank, bank_id = req.addr.rank, req.addr.bank
-                bank = self.bank(rank, bank_id)
-                candidates.append(self.ranks[rank].busy_until)
-                if bank.open_row == req.addr.row:
-                    candidates.append(bank.next_rdwr)
-                elif bank.open_row is None:
-                    candidates.append(self.act_allowed_at(rank, bank_id))
+            n = len(queue)
+            if n > 8:
+                n = 8
+            for qi in range(n):
+                addr = queue[qi].addr
+                rank, bank_id = addr.rank, addr.bank
+                bank = banks[rank][bank_id]
+                rank_state = ranks[rank]
+                c = rank_state.busy_until
+                if c > now:
+                    have_future = True
+                    if c < best:
+                        best = c
+                open_row = bank.open_row
+                if open_row == addr.row:
+                    c = bank.next_rdwr
+                elif open_row is None:
+                    # act_allowed_at, inlined (hot scan).
+                    c = bank.next_act
+                    faw = rank_state.faw
+                    if len(faw) >= 4:
+                        faw_gate = faw[0] + tfaw_c
+                        if faw_gate > c:
+                            c = faw_gate
+                    if rank_state.next_act_any > c:
+                        c = rank_state.next_act_any
+                    group_gate = rank_state.next_act_group[bank_id // bpg]
+                    if group_gate > c:
+                        c = group_gate
                 else:
-                    candidates.append(bank.next_pre)
-        future = [c for c in candidates if c > now]
-        return min(future) if future else now + 1
+                    c = bank.next_pre
+                if c > now:
+                    have_future = True
+                    if c < best:
+                        best = c
+        result = best if have_future else now + 1
+        self._next_event_cache = result
+        self._dirty = False
+        return result
 
     @property
     def pending_requests(self) -> int:

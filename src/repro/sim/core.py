@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.sim.trace import TraceGenerator
 
 
-@dataclass
+@dataclass(slots=True)
 class RobEntry:
     """One outstanding read in the core's window."""
 
@@ -30,7 +30,30 @@ class CoreModel:
     :meth:`peek_pending`, and consumes it with :meth:`take_request` once the
     target controller accepted it.  The controller completes reads through
     :meth:`on_read_complete` with the :class:`RobEntry` handed out at issue.
+
+    ``ready_cycle`` is a pure function of core state (clamped to ``now``):
+    it only changes when :meth:`take_request` or :meth:`on_read_complete`
+    mutate the core, which is what lets the system loop cache each core's
+    wake time between those events.
     """
+
+    __slots__ = (
+        "core_id",
+        "trace",
+        "instr_budget",
+        "warmup_instr",
+        "instr_per_cycle",
+        "instr_window",
+        "mshr",
+        "_measure_start_cycle",
+        "_issue_clock",
+        "_instr_issued",
+        "_outstanding",
+        "_pending",
+        "reads_issued",
+        "writes_issued",
+        "finish_cycle",
+    )
 
     def __init__(
         self,

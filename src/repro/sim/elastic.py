@@ -52,8 +52,12 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
                 # Postpone: account the debt once per elapsed interval.
                 continue
             # Commit and block demand to the rank: newly arriving reads can
-            # no longer cancel the drain or push tRP-readiness away.
-            self._committed[rank_id] = True
+            # no longer cancel the drain or push tRP-readiness away.  The
+            # commit switches next_deadline to the drain-gate formula, so
+            # the transition invalidates the memoized next_event.
+            if not self._committed[rank_id]:
+                self._committed[rank_id] = True
+                mc.mark_dirty()
             mc.blocked_ranks.add(rank_id)
             open_bank = mc.first_open_bank(rank_id)
             if open_bank is not None:

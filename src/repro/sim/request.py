@@ -2,18 +2,20 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dram.geometry import Address
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One cache-line-sized memory request.
 
     ``addr`` is the decoded DRAM coordinate; ``line`` the flat cache-line
     address it came from.  ``complete_cycle`` is filled by the controller
     when the data burst finishes (reads) or the write is accepted.
+    ``rob`` carries the issuing core's ROB entry for reads (slotted — a
+    request is a hot object, allocated once per LLC miss).
     """
 
     addr: Address
@@ -22,7 +24,7 @@ class Request:
     core_id: int
     arrival_cycle: int
     complete_cycle: int | None = None
-    meta: dict = field(default_factory=dict)
+    rob: object = None
 
     @property
     def bank_key(self) -> tuple[int, int, int]:

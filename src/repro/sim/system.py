@@ -147,70 +147,115 @@ class System:
 
     # ------------------------------------------------------------------
     def run(self, max_cycles: int = 10_000_000) -> SimResult:
-        """Run until every core finishes its budget or ``max_cycles``."""
+        """Run until every core finishes its budget or ``max_cycles``.
+
+        The loop is incremental: per-core wake times are cached and
+        invalidated only by the events that can change them (a read
+        completion, an issued request), and each controller memoizes its
+        ``next_event`` behind a dirty flag set by the command-issue
+        primitives — so a visited cycle costs work proportional to what
+        actually happened, not to the number of cores and queued requests.
+        """
         cores = self.cores
         mcs = self.controllers
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        decode = self.mapper.decode
         completion_heap: list[tuple[int, int, int]] = []  # (cycle, seq, core)
         entry_by_seq: dict[int, object] = {}
         seq = 0
         retry_at = [0] * len(cores)
+        #: Next cycle each core must be polled; _FAR_FUTURE while the core
+        #: is done or blocked on a completion whose time is unknown (the
+        #: completion delivery resets it).  ``ready_cycle`` is a pure
+        #: function of core state, so a cached wake stays valid until one
+        #: of those events mutates the core.
+        core_wake = [0] * len(cores)
+        n_undone = len(cores)
+        #: Controllers whose next_event must be consulted in the jump.
+        active_mcs = [
+            mc for mc in mcs if mc.config.refresh_mode != "none"
+        ]
+        passive_mcs = [mc for mc in mcs if mc.config.refresh_mode == "none"]
         cycle = 0
 
         while cycle < max_cycles:
             # 1. Deliver due read completions to cores.
             while completion_heap and completion_heap[0][0] <= cycle:
-                done_cycle, done_seq, core_id = heapq.heappop(completion_heap)
+                done_cycle, done_seq, core_id = heappop(completion_heap)
                 cores[core_id].on_read_complete(entry_by_seq.pop(done_seq), done_cycle)
+                core_wake[core_id] = cycle
 
             # 2. Let cores issue requests into controller queues.
-            for core in cores:
+            for cid, core in enumerate(cores):
+                if core_wake[cid] > cycle:
+                    continue
                 if core.done:
+                    core_wake[cid] = _FAR_FUTURE
+                    n_undone -= 1
                     continue
                 while True:
                     ready = core.ready_cycle(cycle)
-                    if ready is None or ready > cycle or retry_at[core.core_id] > cycle:
+                    if ready is None:
+                        core_wake[cid] = _FAR_FUTURE
+                        if core.done:
+                            n_undone -= 1
+                        break
+                    retry = retry_at[cid]
+                    if ready > cycle or retry > cycle:
+                        core_wake[cid] = ready if ready > retry else retry
                         break
                     line, is_write = core.peek_pending()
-                    addr = self.mapper.decode(line)
+                    addr = decode(line)
                     req = Request(
                         addr=addr,
                         line=line,
                         is_write=is_write,
-                        core_id=core.core_id,
+                        core_id=cid,
                         arrival_cycle=cycle,
                     )
                     if not mcs[addr.channel].enqueue(req):
-                        retry_at[core.core_id] = cycle + 4
+                        retry_at[cid] = cycle + 4
+                        core_wake[cid] = cycle + 4
                         break
                     entry = core.take_request(cycle)
                     if entry is not None:
-                        req.meta["rob"] = entry
+                        req.rob = entry
 
             # 3. Each channel issues at most one command this cycle.
+            # (schedule must run on every visited cycle: ``next_event``
+            # only inspects each queue's head window, so an issue slot for
+            # a deeper request can open at a cycle another controller or
+            # core made interesting.)
             for mc in mcs:
                 mc.schedule(cycle)
-                for done_cycle, req in mc.completions:
-                    heapq.heappush(completion_heap, (done_cycle, seq, req.core_id))
-                    entry_by_seq[seq] = req.meta["rob"]
-                    seq += 1
-                mc.completions.clear()
+                completions = mc.completions
+                if completions:
+                    for done_cycle, req in completions:
+                        heappush(completion_heap, (done_cycle, seq, req.core_id))
+                        entry_by_seq[seq] = req.rob
+                        seq += 1
+                    completions.clear()
 
-            if all(core.done for core in cores):
+            if not n_undone:
                 break
 
             # 4. Jump to the next interesting cycle.
             nxt = _FAR_FUTURE
             if completion_heap:
-                nxt = min(nxt, completion_heap[0][0])
-            for core in cores:
-                if core.done:
-                    continue
-                ready = core.ready_cycle(cycle)
-                if ready is not None:
-                    nxt = min(nxt, max(ready, retry_at[core.core_id]))
-            for mc in mcs:
-                if mc.pending_requests or mc.config.refresh_mode != "none":
-                    nxt = min(nxt, mc.next_event(cycle))
+                nxt = completion_heap[0][0]
+            wake = min(core_wake)
+            if wake < nxt:
+                nxt = wake
+            for mc in active_mcs:
+                ne = mc.next_event(cycle)
+                if ne < nxt:
+                    nxt = ne
+            for mc in passive_mcs:
+                if mc.read_q or mc.write_q:
+                    ne = mc.next_event(cycle)
+                    if ne < nxt:
+                        nxt = ne
             if nxt <= cycle:
                 nxt = cycle + 1
             if nxt == _FAR_FUTURE:

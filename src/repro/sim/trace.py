@@ -81,22 +81,40 @@ class TraceGenerator:
         return self._region_base + int(self.rng.integers(0, self.profile.working_set_rows))
 
     def _refill(self, n: int = 512) -> None:
+        """Vectorized batch generation (bit-identical to the scalar walk).
+
+        The sequential recurrence — a row-region carried across local
+        steps, a column striding from the last jump — resolves in closed
+        form per element: everything between two region jumps is the jump
+        anchor's (region, column) plus ``stride`` per local step since.
+        """
         p = self.profile
         gaps = self.rng.geometric(min(1.0, 1.0 / max(p.mean_gap, 1.0)), size=n)
         local = self.rng.random(n) < p.row_locality
         is_read = self.rng.random(n) < p.read_fraction
         region_jumps = self.rng.integers(0, p.working_set_rows, size=n)
         cols = self.rng.integers(0, self.lines_per_row, size=n)
-        batch = []
-        for i in range(n):
-            if local[i]:
-                self._col = (self._col + p.stream_stride) % self.lines_per_row
-            else:
-                self._region = self._region_base + int(region_jumps[i])
-                self._col = int(cols[i])
-            line = self._region * self.lines_per_row + self._col
-            batch.append((int(gaps[i]), line, not bool(is_read[i])))
-        self._batch = batch
+        lines_per_row = self.lines_per_row
+
+        index = np.arange(n)
+        # Most recent non-local step at or before each position (-1: none
+        # yet in this batch — the carried-in region/column anchor applies).
+        anchor = np.maximum.accumulate(np.where(local, -1, index))
+        anchored = anchor >= 0
+        safe_anchor = np.where(anchored, anchor, 0)
+        regions = np.where(
+            anchored, self._region_base + region_jumps[safe_anchor], self._region
+        )
+        # Column at the anchor, advanced by one stride per local step since
+        # (steps counts from the carry-in access for pre-anchor runs).
+        base_col = np.where(anchored, cols[safe_anchor], self._col)
+        steps = index - anchor
+        col_seq = (base_col + p.stream_stride * steps) % lines_per_row
+        lines = regions * lines_per_row + col_seq
+
+        self._region = int(regions[-1])
+        self._col = int(col_seq[-1])
+        self._batch = list(zip(gaps.tolist(), lines.tolist(), (~is_read).tolist()))
         self._batch_pos = 0
 
     def next_access(self) -> tuple[int, int, bool]:

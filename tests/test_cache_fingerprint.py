@@ -1,0 +1,90 @@
+"""The sweep cache must never replay results from different code.
+
+PR 2 footgun: sweep-point cache keys hashed the ``SystemConfig`` but the
+figure benches replayed pre-change results after scheduler edits until
+someone deleted the cache directory by hand.  Two layers now prevent
+that: the sweep-point key folds a source fingerprint of all of
+``src/repro`` into the hash, and every ``ResultCache`` entry is stamped
+with the fingerprint at write time and re-checked at read time.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+from repro.orchestrator import ResultCache, run_sweep
+from repro.orchestrator.hashing import source_fingerprint
+from tests.test_orchestrator import tiny_sweep
+
+
+REPRO_ROOT = Path(__file__).parent.parent / "src" / "repro"
+
+
+class TestSourceFingerprint:
+    def test_digests_every_python_file(self, tmp_path):
+        """Editing *any* module under src/repro changes the fingerprint."""
+        copy = tmp_path / "repro"
+        shutil.copytree(REPRO_ROOT, copy, ignore=shutil.ignore_patterns("__pycache__"))
+        before = source_fingerprint(root=copy)
+        target = copy / "core" / "engine.py"
+        target.write_text(target.read_text() + "\n# behavior change\n")
+        assert source_fingerprint(root=copy) != before
+
+    def test_new_file_changes_fingerprint(self, tmp_path):
+        copy = tmp_path / "repro"
+        shutil.copytree(REPRO_ROOT, copy, ignore=shutil.ignore_patterns("__pycache__"))
+        before = source_fingerprint(root=copy)
+        (copy / "sim" / "new_scheduler.py").write_text("WIP = True\n")
+        assert source_fingerprint(root=copy) != before
+
+    def test_default_matches_live_tree(self):
+        assert source_fingerprint() == source_fingerprint(root=REPRO_ROOT)
+
+    def test_sweep_keys_fold_in_the_fingerprint(self, monkeypatch):
+        point = tiny_sweep().expand()[0]
+        key_now = point.key
+        assert len(key_now) == 20
+        # Simulate a source edit: the same sweep point must change keys,
+        # so stale cache files stop matching without manual deletion.
+        import repro.orchestrator.sweep as sweep_mod
+
+        monkeypatch.setattr(
+            sweep_mod, "source_fingerprint", lambda: "0123456789abcdef"
+        )
+        assert point.key != key_now
+
+
+class TestResultCacheStamp:
+    def test_entries_written_by_other_code_miss(self, tmp_path):
+        sweep = tiny_sweep()
+        cache = ResultCache(tmp_path / "c")
+        run_sweep(sweep, workers=1, cache=cache)
+        # Same directory read back by a cache carrying a different
+        # fingerprint (i.e. the simulator source changed): all misses.
+        stale = ResultCache(tmp_path / "c", fingerprint="deadbeefdeadbeef")
+        for point in sweep.expand():
+            assert stale.get(point.key) is None
+        assert stale.hits == 0
+        # The genuine fingerprint still hits.
+        fresh = ResultCache(tmp_path / "c")
+        assert all(fresh.get(p.key) is not None for p in sweep.expand())
+
+    def test_unstamped_legacy_entries_miss(self, tmp_path):
+        sweep = tiny_sweep()
+        cache = ResultCache(tmp_path / "c")
+        run_sweep(sweep, workers=1, cache=cache)
+        point = sweep.expand()[0]
+        path = cache.path_for(point.key)
+        body = json.loads(path.read_text())
+        del body["code"]  # what a pre-stamp cache entry looks like
+        path.write_text(json.dumps(body))
+        assert ResultCache(tmp_path / "c").get(point.key) is None
+
+    def test_stamped_rerun_replays(self, tmp_path):
+        sweep = tiny_sweep()
+        cold = run_sweep(sweep, workers=1, cache=tmp_path / "c")
+        warm = run_sweep(sweep, workers=1, cache=tmp_path / "c")
+        assert cold.cache_misses == len(cold)
+        assert warm.cache_hits == len(warm)

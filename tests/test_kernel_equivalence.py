@@ -1,0 +1,64 @@
+"""The optimized event kernel is bit-identical to the recorded goldens.
+
+``tests/goldens/kernel_ab.json`` holds full ``result_to_dict`` dumps
+produced by the *pre-optimization* kernel (PR 2, commit 837d658) across
+baseline/elastic/HiRA/PARA configurations, channel and rank variants.
+The incremental-next-event rewrite (cached core wake times, memoized
+``next_event``, O(1) queue predicates, vectorized trace generation) is a
+pure performance change: every field — cycles, per-core IPCs, controller
+stats — must survive it exactly.
+
+If a future PR changes scheduler *behavior* on purpose, regenerate the
+goldens (run this file with ``REPRO_REGEN_GOLDENS=1``) in the same
+commit and say so in its message; a silent diff here is a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.orchestrator import result_to_dict
+from repro.sim.config import SystemConfig
+from repro.sim.system import System
+from repro.workloads.mixes import mix_for
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "kernel_ab.json"
+GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+
+def run_entry(entry: dict):
+    config = SystemConfig(**entry["config"])
+    profiles = mix_for(entry["mix_id"], cores=config.cores)
+    system = System(
+        config, profiles, seed=entry["seed"], instr_budget=entry["instr_budget"]
+    )
+    return system.run()
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_kernel_matches_pre_optimization_golden(name):
+    entry = GOLDENS[name]
+    result = result_to_dict(run_entry(entry))
+    if os.environ.get("REPRO_REGEN_GOLDENS") == "1":  # pragma: no cover
+        GOLDENS[name]["result"] = result
+        GOLDEN_PATH.write_text(json.dumps(GOLDENS, indent=1, sort_keys=True))
+        return
+    golden = entry["result"]
+    # Compare piecewise first so a mismatch names the field, then fully.
+    for field in golden:
+        assert result[field] == golden[field], f"{name}: {field} diverged"
+    assert result == golden
+
+
+def test_goldens_cover_every_engine():
+    modes = {entry["config"].get("refresh_mode") for entry in GOLDENS.values()}
+    assert modes >= {"none", "baseline", "elastic", "hira"}
+    assert any(entry["config"].get("para_nrh") for entry in GOLDENS.values())
+    assert any(entry["config"].get("channels", 1) > 1 for entry in GOLDENS.values())
+    assert any(
+        entry["config"].get("ranks_per_channel", 1) > 1 for entry in GOLDENS.values()
+    )

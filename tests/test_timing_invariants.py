@@ -331,7 +331,7 @@ class TestPairingPolicy:
     def test_saturated_rank_with_waiting_demand_pairs(self):
         __, mc, engine, state, demand, now = self._saturated_system()
         self._saturate_rank(mc, now)
-        mc.read_q.append(demand)
+        mc.enqueue(demand)
         assert mc.act_pressure(0, now) >= engine.pressure_threshold
         assert engine.urgent(now)
         assert mc.stats.hira_refresh_parallelized == 1
@@ -340,7 +340,7 @@ class TestPairingPolicy:
 
     def test_idle_rank_does_not_pull_forward(self):
         __, mc, engine, state, demand, now = self._saturated_system()
-        mc.read_q.append(demand)  # demand alone is not enough
+        mc.enqueue(demand)  # demand alone is not enough
         assert mc.act_pressure(0, now) < engine.pressure_threshold
         assert engine.urgent(now)
         assert mc.stats.hira_refresh_parallelized == 0
@@ -358,7 +358,7 @@ class TestPairingPolicy:
     def test_pulled_forward_credit_cancels_next_generation(self):
         __, mc, engine, state, demand, now = self._saturated_system()
         self._saturate_rank(mc, now)
-        mc.read_q.append(demand)
+        mc.enqueue(demand)
         assert engine.urgent(now)
         assert state.credit == 1
         generated_before = mc.stats.periodic_generated
