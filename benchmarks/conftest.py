@@ -28,11 +28,18 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: default (REPRO_WORKERS env override, else available cores capped at 8).
 WORKERS = None
 
-#: On-disk sweep cache shared by all figure benches (REPRO_NO_CACHE=1 disables):
-#: re-running a figure with unchanged parameters replays cached SimResults.
+#: On-disk result store shared by all figure benches (REPRO_NO_CACHE=1
+#: disables): re-running a figure with unchanged parameters replays cached
+#: SimResults, and figures sharing grid cells (e.g. figs 12/13/15 baseline
+#: points) compute each shared point exactly once across sweeps.
 SWEEP_CACHE = (
     None if os.environ.get("REPRO_NO_CACHE", "0") == "1" else RESULTS_DIR / ".sweep-cache"
 )
+
+#: Execution backend for figure sweeps: unset → local process pool;
+#: "serial" forces in-process; "socket" dispatches to `repro worker`
+#: daemons (REPRO_SOCKET_HOST/PORT, REPRO_SPAWN_WORKERS configure it).
+BACKEND = os.environ.get("REPRO_BACKEND") or None
 
 
 def scale(quick, full):
@@ -134,7 +141,16 @@ def figure_sweep(name: str, *axes, n_mixes: int = None, base: SystemConfig = Non
         instr_budget=instr_budget or INSTR_BUDGET,
         max_cycles=max_cycles or MAX_CYCLES,
     )
-    return run_sweep(sweep, workers=WORKERS, cache=SWEEP_CACHE)
+    result = run_sweep(sweep, workers=WORKERS, cache=SWEEP_CACHE, backend=BACKEND)
+    if SWEEP_CACHE is not None:
+        # Incremental-regeneration telemetry: how much of the figure's grid
+        # replayed from the shared store vs was dispatched to the backend.
+        print(
+            f"[sweep {name}] {result.reused} reused / {result.computed} "
+            f"computed on the {result.backend} backend",
+            file=sys.__stdout__, flush=True,
+        )
+    return result
 
 
 @pytest.fixture(scope="session")

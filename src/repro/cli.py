@@ -1,10 +1,12 @@
 """Command-line entry points for the reproduction.
 
-Five subcommands mirror the repository's main workflows:
+Six subcommands mirror the repository's main workflows:
 
 - ``characterize`` — run the §4 experiments on a tested module.
 - ``simulate`` — one cycle-level run of a refresh configuration.
-- ``sweep`` — an orchestrated parameter-grid sweep (parallel + cached).
+- ``sweep`` — an orchestrated parameter-grid sweep (parallel + cached,
+  with pluggable execution backends and incremental regeneration).
+- ``worker`` — a sweep-execution worker daemon for ``--backend socket``.
 - ``security`` — print PARA's (revisited) configuration for a threshold.
 - ``perf`` — measure kernel throughput and write ``BENCH_kernel.json``.
 
@@ -14,6 +16,8 @@ Usage::
     python -m repro.cli simulate --capacity 128 --mode hira --slack 2
     python -m repro.cli sweep --modes baseline,hira --capacities 8,32 \
         --mixes 2 --workers 4 --cache-dir .sweep-cache
+    python -m repro.cli worker --port 7781 &
+    python -m repro.cli sweep --backend socket --port 7781 --incremental
     python -m repro.cli security --nrh 128 --slack 4
     python -m repro.cli perf --out BENCH_kernel.json
 """
@@ -98,7 +102,15 @@ def _parse_list(text: str, convert) -> tuple:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.orchestrator import Sweep, Variant, axis, mix_workloads, run_sweep
+    from repro.orchestrator import (
+        ResultCache,
+        Sweep,
+        Variant,
+        axis,
+        mix_workloads,
+        plan_sweep,
+        run_sweep,
+    )
     from repro.sim.config import SystemConfig
 
     variants = []
@@ -130,9 +142,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         instr_budget=args.instructions,
         max_cycles=args.max_cycles,
     )
-    cache = None if args.no_cache else args.cache_dir
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.incremental and cache is None:
+        print("--incremental needs a result store; drop --no-cache")
+        return 2
+
+    backend = args.backend
+    owned_backend = None
+    if backend == "socket":
+        from repro.orchestrator.backends import SocketBackend
+
+        backend = owned_backend = SocketBackend(
+            host=args.host,
+            port=args.port,
+            spawn_workers=args.spawn_workers,
+            registration_timeout=args.registration_timeout,
+        )
+        print(f"socket backend: job server on {backend.host}:{backend.port}")
+
     print(f"sweep {args.name!r}: {sweep.size} points on {args.workers or 'auto'} workers")
-    result = run_sweep(sweep, workers=args.workers, cache=cache)
+    plan = None
+    if args.incremental:
+        plan = plan_sweep(sweep, cache)
+        print(f"incremental: {plan.describe()}")
+    try:
+        result = run_sweep(
+            sweep, workers=args.workers, cache=cache, backend=backend, plan=plan
+        )
+    finally:
+        if owned_backend is not None:
+            owned_backend.close()
 
     cells: dict[tuple, list] = {}
     for point, res in result:
@@ -149,8 +188,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ["configuration", "weighted speedup", "reads served"],
         rows,
         title=f"sweep {args.name}: {len(result)} runs, "
-        f"{result.cache_hits} cached, {result.cache_misses} executed, "
-        f"{result.elapsed_s:.1f}s on {result.workers} workers",
+        f"{result.reused} cached, {result.computed} executed, "
+        f"{result.elapsed_s:.1f}s on {result.workers} workers "
+        f"({result.backend} backend)",
     ))
     if args.json_out:
         import json
@@ -161,6 +201,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "runs": len(result),
             "cache_hits": result.cache_hits,
             "cache_misses": result.cache_misses,
+            "backend": result.backend,
+            "reused": result.reused,
+            "computed": result.computed,
             "cells": [
                 {
                     "coords": dict(cell),
@@ -173,6 +216,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         }
         Path(args.json_out).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json_out}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.orchestrator.backends.worker import serve
+
+    def log(message: str) -> None:
+        print(f"[worker] {message}", flush=True)
+
+    log(f"serving {args.host}:{args.port} (ctrl-C to stop)")
+    done = serve(
+        args.host,
+        args.port,
+        heartbeat_interval=args.heartbeat,
+        connect_timeout=args.connect_timeout,
+        max_sessions=args.max_sessions,
+        label=args.label,
+        log=log,
+    )
+    log(f"executed {done} points total")
     return 0
 
 
@@ -274,11 +337,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--instructions", type=int, default=100_000)
     p.add_argument("--max-cycles", type=int, default=10_000_000, dest="max_cycles")
     p.add_argument("--workers", type=int, default=None)
-    p.add_argument("--cache-dir", default=".sweep-cache", dest="cache_dir")
+    p.add_argument("--cache-dir", default=".sweep-cache", dest="cache_dir",
+                   help="content-addressed result store; sweeps sharing a "
+                        "store compute each point exactly once")
     p.add_argument("--no-cache", action="store_true", dest="no_cache")
+    p.add_argument("--backend", choices=("serial", "local", "socket"), default="local",
+                   help="execution backend: in-process, local process pool, "
+                        "or a TCP job server fed by `repro worker` daemons")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="socket backend: interface the job server binds")
+    p.add_argument("--port", type=int, default=7781,
+                   help="socket backend: job-server port (0 = ephemeral)")
+    p.add_argument("--spawn-workers", type=int, default=0, dest="spawn_workers",
+                   help="socket backend: also launch N localhost workers")
+    p.add_argument("--registration-timeout", type=float, default=60.0,
+                   dest="registration_timeout",
+                   help="socket backend: fail if no worker registers in time")
+    p.add_argument("--incremental", action="store_true",
+                   help="diff the grid against the store first, report the "
+                        "reused-vs-computed plan, and dispatch only "
+                        "missing/stale points")
     p.add_argument("--json-out", default=None, dest="json_out",
                    help="also write per-cell mean results to a JSON file")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("worker", help="sweep-execution worker daemon (socket backend)")
+    p.add_argument("--host", default="127.0.0.1", help="job server to connect to")
+    p.add_argument("--port", type=int, default=7781)
+    p.add_argument("--label", default=None, help="worker name shown in telemetry")
+    p.add_argument("--heartbeat", type=float, default=2.0,
+                   help="seconds between heartbeats (also sent mid-simulation)")
+    p.add_argument("--connect-timeout", type=float, default=60.0,
+                   dest="connect_timeout",
+                   help="exit after this long without a reachable job server")
+    p.add_argument("--max-sessions", type=int, default=None, dest="max_sessions",
+                   help="exit after serving N server sessions (tests/CI)")
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser("security", help="PARA configuration for a threshold")
     p.add_argument("--nrh", type=float, default=128.0)

@@ -43,6 +43,9 @@ class TimingParams:
       and charge-pump resources.
     - ``twr``: write recovery — the delay between the end of a write data
       burst and a PRE to the written bank.
+    - ``trtp``: read-to-precharge — the minimum delay between a RD command
+      and a PRE to the same bank (the read must drain from the sense
+      amplifiers before the row closes).
     - ``tcwl``: CAS write latency (WR command → start of write data burst).
     - ``tcl`` / ``tbl``: column access latency / data burst duration, used by
       the system simulator to time read completion.
@@ -65,6 +68,8 @@ class TimingParams:
     trrd_l: int = ns(4.9)
     #: JEDEC DDR4 write recovery and CAS write latency (DDR4-2400: CWL=12).
     twr: int = ns(15.0)
+    #: JEDEC DDR4 read-to-precharge (max(4 nCK, 7.5 ns) at DDR4-2400).
+    trtp: int = ns(7.5)
     tcwl: int = ns(10.0)
     tcl: int = ns(14.25)
     tbl: int = ns(3.33)
@@ -84,7 +89,7 @@ class TimingParams:
             )
         for name in (
             "tck", "trcd", "tras", "trp", "trfc", "trefi", "trefw", "tfaw",
-            "trrd_s", "trrd_l", "twr", "tcwl",
+            "trrd_s", "trrd_l", "twr", "trtp", "tcwl",
         ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
@@ -129,6 +134,7 @@ DDR5_4800 = TimingParams(
     trrd_s=ns(3.3),
     trrd_l=ns(5.0),
     twr=ns(30.0),
+    trtp=ns(7.5),
     tcwl=ns(10.0),
     tcl=ns(14.0),
     tbl=ns(3.33),

@@ -7,23 +7,41 @@ package turns that shape into infrastructure:
 
 - :mod:`repro.orchestrator.sweep` — the declarative :class:`Sweep` API
   (axes, variants, workloads) with stable per-point config hashing.
-- :mod:`repro.orchestrator.runner` — :func:`run_sweep`: shards points
-  across a multiprocessing worker pool with deterministic per-point seeds,
-  so serial and parallel execution produce bit-identical results.
-- :mod:`repro.orchestrator.cache` — an on-disk result cache keyed by
-  config hash; re-running a figure with unchanged parameters is instant.
+- :mod:`repro.orchestrator.backends` — pluggable execution backends:
+  in-process serial, a local multiprocessing pool, and a TCP job server
+  dispatching to ``repro worker`` daemons (this host or others), all
+  bit-identical to serial by construction.
+- :mod:`repro.orchestrator.runner` — :func:`run_sweep` dispatches store
+  misses to a backend and assembles grid-order results;
+  :func:`plan_sweep` diffs a grid against the store for incremental
+  regeneration (only missing/stale points execute).
+- :mod:`repro.orchestrator.cache` — the content-addressed result store,
+  keyed by config hash + simulator source fingerprint; sweeps sharing a
+  store directory compute each point exactly once across sweeps.
 - :mod:`repro.orchestrator.pool` — :func:`parallel_map`, the generic
   order-preserving helper the chip-characterization experiments use.
 
-Benchmarks and the ``repro sweep`` CLI subcommand are thin layers over
-these primitives; future scaling work (more workloads, larger grids,
-distributed backends) plugs in here.
+Benchmarks and the ``repro sweep`` / ``repro worker`` CLI subcommands are
+thin layers over these primitives.
 """
 
+from repro.orchestrator.backends import (
+    ExecutionBackend,
+    LocalPoolBackend,
+    SerialBackend,
+    SocketBackend,
+    make_backend,
+)
 from repro.orchestrator.cache import ResultCache, result_from_dict, result_to_dict
 from repro.orchestrator.hashing import config_hash
 from repro.orchestrator.pool import parallel_map
-from repro.orchestrator.runner import SweepResult, execute_point, run_sweep
+from repro.orchestrator.runner import (
+    SweepPlan,
+    SweepResult,
+    execute_point,
+    plan_sweep,
+    run_sweep,
+)
 from repro.orchestrator.sweep import (
     Sweep,
     SweepPoint,
@@ -35,8 +53,13 @@ from repro.orchestrator.sweep import (
 )
 
 __all__ = [
+    "ExecutionBackend",
+    "LocalPoolBackend",
     "ResultCache",
+    "SerialBackend",
+    "SocketBackend",
     "Sweep",
+    "SweepPlan",
     "SweepPoint",
     "SweepResult",
     "Variant",
@@ -44,8 +67,10 @@ __all__ = [
     "axis",
     "config_hash",
     "execute_point",
+    "make_backend",
     "mix_workloads",
     "parallel_map",
+    "plan_sweep",
     "profile_workloads",
     "result_from_dict",
     "result_to_dict",

@@ -1,0 +1,76 @@
+"""The pluggable execution-backend interface and the in-host backends.
+
+A backend executes a batch of ``(grid index, SweepPoint)`` jobs and yields
+``(grid index, SimResult)`` pairs in *any* order; the runner owns result
+placement, so deterministic grid-order assembly — and therefore bit-exact
+equality between all backends — holds by construction.  Backends only
+decide *where* points run:
+
+- :class:`SerialBackend` — in-process, one point at a time.
+- :class:`LocalPoolBackend` — a multiprocessing pool on this host (the
+  pre-backend ``run_sweep`` behaviour).
+- :class:`~repro.orchestrator.backends.server.SocketBackend` — a TCP job
+  server dispatching to ``repro worker`` daemons (this or other hosts).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.orchestrator.execute import execute_indexed, execute_point
+from repro.orchestrator.pool import _pool_context, default_workers
+from repro.orchestrator.sweep import SweepPoint
+from repro.sim.system import SimResult
+
+Jobs = Sequence[tuple[int, SweepPoint]]
+
+
+class ExecutionBackend:
+    """Executes sweep points; yields ``(index, result)`` in any order."""
+
+    #: Registry name (also reported in :class:`SweepResult` telemetry).
+    name = "abstract"
+
+    #: How many points may execute concurrently (telemetry only).
+    parallelism = 1
+
+    def run_jobs(self, jobs: Jobs) -> Iterable[tuple[int, SimResult]]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (sockets, worker processes).  Idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution, one point at a time, in submission order."""
+
+    name = "serial"
+
+    def run_jobs(self, jobs: Jobs) -> Iterable[tuple[int, SimResult]]:
+        for index, point in jobs:
+            yield index, execute_point(point)
+
+
+class LocalPoolBackend(ExecutionBackend):
+    """A multiprocessing pool on this host (completion-order results)."""
+
+    name = "local"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = default_workers() if workers is None else workers
+        self.parallelism = max(1, self.workers)
+
+    def run_jobs(self, jobs: Jobs) -> Iterable[tuple[int, SimResult]]:
+        jobs = list(jobs)
+        if self.workers <= 1 or len(jobs) <= 1:
+            yield from SerialBackend().run_jobs(jobs)
+            return
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(self.workers, len(jobs))) as pool:
+            yield from pool.imap_unordered(execute_indexed, jobs)

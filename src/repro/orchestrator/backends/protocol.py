@@ -1,0 +1,144 @@
+"""The socket backend's wire protocol: length-prefixed JSON frames.
+
+Every frame is a 4-byte big-endian length followed by a UTF-8 JSON body.
+Messages are flat dicts with a ``type`` field:
+
+========== =========== ====================================================
+direction  type        payload
+========== =========== ====================================================
+worker →   hello       ``worker`` (label), ``pid``, ``fingerprint``,
+                       ``protocol``
+server →   welcome     ``server`` (label)
+server →   reject      ``reason`` (fingerprint/protocol mismatch — fatal)
+server →   job         ``id`` (grid index), ``point`` (serialized
+                       :class:`~repro.orchestrator.sweep.SweepPoint`)
+worker →   result      ``id``, ``result`` (``result_to_dict`` payload)
+worker →   error       ``id``, ``error`` (traceback text — fatal: the
+                       simulation itself raised, retrying cannot help)
+worker →   heartbeat   (empty; sent while idle *and* while computing)
+server →   shutdown    (empty; the sweep is complete)
+========== =========== ====================================================
+
+Sweep points travel as plain JSON (no pickling): the full
+:class:`~repro.sim.config.SystemConfig` — including derived
+:class:`~repro.dram.geometry.Geometry` and
+:class:`~repro.dram.timing.TimingParams` — plus trace profiles, seed, and
+budgets round-trip bit-exactly, so a point executes identically no matter
+which host runs it.  :func:`point_from_dict`'s reconstruction is verified
+by comparing content-hash keys in the backend tests.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import asdict, fields
+
+from repro.dram.geometry import Geometry
+from repro.dram.timing import TimingParams
+from repro.orchestrator.sweep import SweepPoint
+from repro.sim.config import SystemConfig
+from repro.sim.trace import TraceProfile
+
+#: Protocol revision: bump on any incompatible message/serialization change.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame; anything larger is a corrupt stream.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(ValueError):
+    """A malformed or oversized frame on the job socket.
+
+    A ``ValueError`` on purpose: connection-level handlers in the server
+    and worker catch ``(OSError, ValueError)`` — which also covers
+    ``json.JSONDecodeError`` — so a corrupt stream tears down just that
+    connection (re-queuing any in-flight job) instead of leaking a dead
+    thread that still holds work.
+    """
+
+
+def send_msg(sock: socket.socket, message: dict, lock=None) -> None:
+    """Send one frame.  ``lock`` serializes writers sharing the socket
+    (the worker's heartbeat thread writes concurrently with results)."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    frame = _HEADER.pack(len(body)) + body
+    if lock is not None:
+        with lock:
+            sock.sendall(frame)
+    else:
+        sock.sendall(frame)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            return None  # orderly EOF
+        buf += chunk
+    return bytes(buf)
+
+
+def recv_msg(sock: socket.socket) -> dict | None:
+    """Receive one frame; ``None`` on a clean EOF (peer went away)."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length)
+    if body is None:
+        return None
+    message = json.loads(body.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ProtocolError(f"expected a message object, got {type(message).__name__}")
+    return message
+
+
+# ----------------------------------------------------------------------
+# SweepPoint (de)serialization
+# ----------------------------------------------------------------------
+def config_to_dict(config: SystemConfig) -> dict:
+    out = {}
+    for f in fields(config):
+        value = getattr(config, f.name)
+        if f.name in ("geometry", "timing"):
+            value = asdict(value)
+        out[f.name] = value
+    return out
+
+
+def config_from_dict(data: dict) -> SystemConfig:
+    data = dict(data)
+    data["geometry"] = Geometry(**data["geometry"])
+    data["timing"] = TimingParams(**data["timing"])
+    return SystemConfig(**data)
+
+
+def point_to_dict(point: SweepPoint) -> dict:
+    return {
+        "sweep": point.sweep,
+        "coords": [[name, value] for name, value in point.coords],
+        "config": config_to_dict(point.config),
+        "profiles": [asdict(p) for p in point.profiles],
+        "seed": point.seed,
+        "instr_budget": point.instr_budget,
+        "max_cycles": point.max_cycles,
+    }
+
+
+def point_from_dict(data: dict) -> SweepPoint:
+    return SweepPoint(
+        sweep=data["sweep"],
+        coords=tuple((name, value) for name, value in data["coords"]),
+        config=config_from_dict(data["config"]),
+        profiles=tuple(TraceProfile(**p) for p in data["profiles"]),
+        seed=data["seed"],
+        instr_budget=data["instr_budget"],
+        max_cycles=data["max_cycles"],
+    )

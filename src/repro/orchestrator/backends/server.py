@@ -1,0 +1,384 @@
+"""The TCP job server and the socket execution backend.
+
+:class:`JobServer` owns a listening socket and a thread per connected
+worker.  Workers register with a ``hello`` (carrying their source
+fingerprint — a mismatched worker is *rejected*, because results from a
+different simulator tree would break bit-identical assembly), then jobs
+are dealt from a shared queue.  A worker that dies mid-job — connection
+reset, clean EOF, or :attr:`heartbeat_timeout` seconds of silence — has
+its job re-queued for the remaining workers; a job that exhausts
+``max_retries`` re-dispatches, or a worker that reports a simulation
+*exception*, fails the whole sweep (the exception is deterministic — more
+retries cannot help).
+
+Determinism: the server only transports results.  Placement back into
+grid order happens in the runner keyed by each job's grid index, so the
+socket backend is bit-identical to serial execution no matter how many
+workers race, die, or duplicate work.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Iterable
+
+from repro.orchestrator.backends.base import ExecutionBackend, Jobs
+from repro.orchestrator.backends.protocol import (
+    PROTOCOL_VERSION,
+    point_to_dict,
+    recv_msg,
+    send_msg,
+)
+from repro.orchestrator.cache import result_from_dict
+from repro.orchestrator.hashing import source_fingerprint
+from repro.sim.system import SimResult
+
+
+class WorkerPoolError(RuntimeError):
+    """The sweep cannot make progress (no workers, or a fatal job error)."""
+
+
+def _bind_listener(host: str, port: int, bind_timeout: float) -> socket.socket:
+    """Bind the job port, waiting out a predecessor's draining connections.
+
+    Back-to-back sweeps on a fixed port (the normal CLI pattern) race the
+    previous server's accepted sockets through FIN_WAIT — during which a
+    fresh bind fails with EADDRINUSE even under SO_REUSEADDR — so retry
+    with a deadline instead of failing the second sweep.
+    """
+    deadline = time.monotonic() + bind_timeout
+    while True:
+        try:
+            return socket.create_server((host, port))
+        except OSError:
+            if port == 0 or time.monotonic() > deadline:
+                raise
+            time.sleep(0.1)
+
+
+class _Job:
+    __slots__ = ("index", "payload", "attempts")
+
+    def __init__(self, index: int, payload: dict):
+        self.index = index
+        self.payload = payload
+        self.attempts = 0
+
+
+class JobServer:
+    """Deals sweep points to registered ``repro worker`` daemons over TCP."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        registration_timeout: float = 60.0,
+        heartbeat_timeout: float = 30.0,
+        max_retries: int = 2,
+        fingerprint: str | None = None,
+        bind_timeout: float = 15.0,
+    ):
+        self.registration_timeout = registration_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_retries = max_retries
+        self.fingerprint = source_fingerprint() if fingerprint is None else fingerprint
+        self._sock = _bind_listener(host, port, bind_timeout)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._jobs: queue.Queue[_Job] = queue.Queue()
+        self._results: dict[int, SimResult] = {}
+        self._outstanding = 0
+        self._done = threading.Event()
+        self._fatal: str | None = None
+        self._closing = False
+        self._conns: set[socket.socket] = set()
+        self.workers_seen = 0
+        #: Currently registered (welcomed, not yet departed) workers.
+        self._live_workers = 0
+        self._acceptor = threading.Thread(target=self._accept_loop, daemon=True)
+        self._acceptor.start()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve(self, jobs: Jobs) -> Iterable[tuple[int, SimResult]]:
+        """Execute every job on the registered workers; any-order results."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        with self._lock:
+            self._results.clear()
+            self._outstanding = len(jobs)
+            self._done.clear()
+        for index, point in jobs:
+            self._jobs.put(_Job(index, point_to_dict(point)))
+        # The deadline re-arms while any worker is registered: it guards
+        # both "nobody ever showed up" and "every worker died mid-sweep"
+        # (without it, a re-queued job with no surviving worker would
+        # leave serve() waiting forever).
+        deadline = time.monotonic() + self.registration_timeout
+        while not self._done.wait(timeout=0.2):
+            if self._fatal is not None:
+                break
+            with self._lock:
+                live = self._live_workers
+            if live > 0:
+                deadline = time.monotonic() + self.registration_timeout
+            elif time.monotonic() > deadline:
+                if self.workers_seen == 0:
+                    self._fatal = (
+                        f"no worker registered within "
+                        f"{self.registration_timeout:.0f}s (start one with "
+                        f"`repro worker --host {self.host} --port {self.port}`)"
+                    )
+                else:
+                    self._fatal = (
+                        f"all {self.workers_seen} registered workers left and "
+                        f"none returned within {self.registration_timeout:.0f}s; "
+                        f"jobs remain unfinished"
+                    )
+                break
+        if self._fatal is not None:
+            raise WorkerPoolError(self._fatal)
+        with self._lock:
+            return list(self._results.items())
+
+    # ------------------------------------------------------------------
+    # Worker handling (one thread per connection)
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn, __addr = self._sock.accept()
+            except OSError:  # listening socket closed
+                return
+            threading.Thread(
+                target=self._serve_worker, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_worker(self, conn: socket.socket) -> None:
+        label = "?"
+        registered = False
+        with self._lock:
+            self._conns.add(conn)
+        try:
+            conn.settimeout(self.heartbeat_timeout)
+            hello = recv_msg(conn)
+            if not hello or hello.get("type") != "hello":
+                return
+            label = hello.get("worker", "?")
+            if hello.get("protocol") != PROTOCOL_VERSION:
+                send_msg(conn, {
+                    "type": "reject",
+                    "reason": f"protocol {hello.get('protocol')} != {PROTOCOL_VERSION}",
+                })
+                return
+            if hello.get("fingerprint") != self.fingerprint:
+                # A worker running different simulator source would return
+                # results that are not bit-identical to serial execution.
+                send_msg(conn, {
+                    "type": "reject",
+                    "reason": (
+                        f"source fingerprint {hello.get('fingerprint')} does not "
+                        f"match the server's {self.fingerprint}; update the "
+                        "worker's checkout"
+                    ),
+                })
+                return
+            send_msg(conn, {"type": "welcome", "server": f"pid{os.getpid()}"})
+            with self._lock:
+                self.workers_seen += 1
+                self._live_workers += 1
+            registered = True
+            self._deal_jobs(conn, label)
+        except (OSError, ValueError):
+            pass  # connection-level failure: any in-flight job was re-queued
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+                if registered:
+                    self._live_workers -= 1
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _deal_jobs(self, conn: socket.socket, label: str) -> None:
+        while not self._closing and self._fatal is None:
+            try:
+                job = self._jobs.get(timeout=0.1)
+            except queue.Empty:
+                if self._done.is_set():
+                    try:
+                        send_msg(conn, {"type": "shutdown"})
+                    except OSError:
+                        pass
+                    return
+                continue
+            try:
+                send_msg(conn, {"type": "job", "id": job.index, "point": job.payload})
+                if not self._await_result(conn, job):
+                    return  # worker died; job already re-queued
+            except (OSError, ValueError):
+                self._requeue(job, label, "connection lost")
+                return
+
+    def _await_result(self, conn: socket.socket, job: _Job) -> bool:
+        """True when the job completed on this worker; False re-queues."""
+        while True:
+            try:
+                message = recv_msg(conn)
+            except socket.timeout:
+                self._requeue(job, "worker", "heartbeat timeout")
+                return False
+            except (OSError, ValueError):
+                self._requeue(job, "worker", "connection lost")
+                return False
+            if message is None:
+                self._requeue(job, "worker", "EOF")
+                return False
+            kind = message.get("type")
+            if kind == "heartbeat":
+                continue
+            if kind == "result" and message.get("id") == job.index:
+                self._record(job.index, result_from_dict(message["result"]))
+                return True
+            if kind == "error":
+                # The simulation itself raised: deterministic, fatal.
+                self._fail(
+                    f"point {job.index} raised on the worker:\n{message.get('error')}"
+                )
+                return True
+            # Anything else (stale result id after a re-queue race) is
+            # ignored; the protocol is strictly request/response per worker.
+
+    def _record(self, index: int, result: SimResult) -> None:
+        with self._lock:
+            if index in self._results:
+                return  # duplicate completion after a conservative re-queue
+            self._results[index] = result
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._done.set()
+
+    def _requeue(self, job: _Job, label: str, why: str) -> None:
+        with self._lock:
+            if job.index in self._results:
+                return  # completed elsewhere in the meantime
+        job.attempts += 1
+        if job.attempts > self.max_retries:
+            self._fail(
+                f"point {job.index} failed {job.attempts} times "
+                f"(last: {why} on {label})"
+            )
+            return
+        self._jobs.put(job)
+
+    def _fail(self, reason: str) -> None:
+        self._fatal = reason
+        self._done.set()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._closing = True
+        self._done.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                send_msg(conn, {"type": "shutdown"})
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class SocketBackend(ExecutionBackend):
+    """Execute sweep points on ``repro worker`` daemons via a job server.
+
+    The backend *hosts* the server (binding ``host:port``; port 0 picks an
+    ephemeral port, exposed as :attr:`port`).  Workers connect inward —
+    from this host or any other — so firewalled lab machines can join by
+    running ``repro worker --host <server> --port <port>``.
+    ``spawn_workers=N`` additionally launches N localhost worker
+    subprocesses for self-contained operation.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        spawn_workers: int = 0,
+        registration_timeout: float = 60.0,
+        heartbeat_timeout: float = 30.0,
+        max_retries: int = 2,
+    ):
+        self.server = JobServer(
+            host,
+            port,
+            registration_timeout=registration_timeout,
+            heartbeat_timeout=heartbeat_timeout,
+            max_retries=max_retries,
+        )
+        self.host, self.port = self.server.host, self.server.port
+        self._procs: list[subprocess.Popen] = []
+        for __ in range(spawn_workers):
+            self._procs.append(spawn_local_worker(self.host, self.port))
+
+    @property
+    def parallelism(self) -> int:  # type: ignore[override]
+        return max(1, self.server.workers_seen)
+
+    def run_jobs(self, jobs: Jobs) -> Iterable[tuple[int, SimResult]]:
+        return self.server.serve(jobs)
+
+    def close(self) -> None:
+        self.server.close()
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        self._procs.clear()
+
+
+def spawn_local_worker(host: str, port: int, **popen_kwargs) -> subprocess.Popen:
+    """Launch a ``repro worker`` subprocess aimed at ``host:port``.
+
+    The child inherits this interpreter and gets the live ``repro``
+    package prepended to ``PYTHONPATH`` so source checkouts work without
+    installation.
+    """
+    import repro
+
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = pkg_root + (os.pathsep + existing if existing else "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "worker",
+            "--host", host, "--port", str(port),
+        ],
+        env=env,
+        **popen_kwargs,
+    )

@@ -1,0 +1,183 @@
+"""The ``repro worker`` daemon: executes sweep points for a job server.
+
+A worker connects *out* to a :class:`~repro.orchestrator.backends.server
+.JobServer`, registers with its source fingerprint, and then loops:
+receive a job, run :func:`~repro.orchestrator.execute.execute_point`,
+send the serialized :class:`~repro.sim.system.SimResult` back.  A
+background thread emits heartbeats throughout — including *during* a
+simulation — so the server can tell "long point" from "dead worker".
+
+Daemon semantics: when the server disappears (sweep finished, or not yet
+started), the worker keeps re-connecting until ``connect_timeout`` seconds
+pass without reaching a server, so it can be started *before* the sweep
+and survive *between* sweeps.  ``max_sessions`` bounds the number of
+server sessions (handy in tests and CI).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+
+from repro.orchestrator.backends.protocol import (
+    PROTOCOL_VERSION,
+    point_from_dict,
+    recv_msg,
+    send_msg,
+)
+from repro.orchestrator.cache import result_to_dict
+from repro.orchestrator.execute import execute_point
+from repro.orchestrator.hashing import source_fingerprint
+
+
+class WorkerRejected(RuntimeError):
+    """The server refused registration (fingerprint/protocol mismatch)."""
+
+
+def _enable_keepalive(sock: socket.socket) -> None:
+    """Arm TCP keepalive so a silently vanished server host (power loss,
+    network partition — no FIN/RST ever arrives) kills the blocked recv
+    within ~a minute instead of stranding the daemon forever."""
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    for option, value in (("TCP_KEEPIDLE", 30), ("TCP_KEEPINTVL", 10),
+                          ("TCP_KEEPCNT", 3)):
+        if hasattr(socket, option):  # Linux names; best-effort elsewhere
+            sock.setsockopt(socket.IPPROTO_TCP, getattr(socket, option), value)
+
+
+class _Heartbeat(threading.Thread):
+    """Emits heartbeat frames until stopped; shares the socket via a lock."""
+
+    def __init__(self, sock: socket.socket, lock: threading.Lock, interval: float):
+        super().__init__(daemon=True)
+        self.sock = sock
+        self.lock = lock
+        self.interval = interval
+        self.stopped = threading.Event()
+
+    def run(self) -> None:
+        while not self.stopped.wait(self.interval):
+            try:
+                send_msg(self.sock, {"type": "heartbeat"}, lock=self.lock)
+            except OSError:
+                return  # connection is gone; the main loop will notice
+
+    def stop(self) -> None:
+        self.stopped.set()
+
+
+def run_session(
+    sock: socket.socket, *, heartbeat_interval: float = 2.0, label: str | None = None
+) -> int | None:
+    """Serve one connected session until shutdown/EOF.
+
+    Returns the number of jobs completed, or ``None`` when the server went
+    away before registration finished (the connection raced a shutdown —
+    not a real session).
+    """
+    lock = threading.Lock()
+    send_msg(
+        sock,
+        {
+            "type": "hello",
+            "worker": label or f"{socket.gethostname()}-{os.getpid()}",
+            "pid": os.getpid(),
+            "fingerprint": source_fingerprint(),
+            "protocol": PROTOCOL_VERSION,
+        },
+        lock=lock,
+    )
+    welcome = recv_msg(sock)
+    if welcome is None:
+        return None
+    if welcome.get("type") == "reject":
+        raise WorkerRejected(welcome.get("reason", "rejected"))
+    heartbeat = _Heartbeat(sock, lock, heartbeat_interval)
+    heartbeat.start()
+    done = 0
+    try:
+        while True:
+            message = recv_msg(sock)
+            if message is None:
+                # EOF without a shutdown: the server vanished.  A 0-job
+                # connection was a phantom (e.g. racing a server that had
+                # just finished its sweep and was tearing down), not a
+                # served session.
+                return done if done else None
+            if message.get("type") == "shutdown":
+                return done
+            if message.get("type") != "job":
+                continue
+            job_id = message.get("id")
+            try:
+                result = execute_point(point_from_dict(message["point"]))
+            except Exception:
+                send_msg(
+                    sock,
+                    {"type": "error", "id": job_id, "error": traceback.format_exc()},
+                    lock=lock,
+                )
+                continue
+            send_msg(
+                sock,
+                {"type": "result", "id": job_id, "result": result_to_dict(result)},
+                lock=lock,
+            )
+            done += 1
+    finally:
+        heartbeat.stop()
+
+
+def serve(
+    host: str,
+    port: int,
+    *,
+    heartbeat_interval: float = 2.0,
+    connect_timeout: float = 60.0,
+    max_sessions: int | None = None,
+    label: str | None = None,
+    log=None,
+) -> int:
+    """The daemon loop: connect → serve a session → reconnect.
+
+    Returns the total number of jobs executed.  Gives up (returns) when no
+    server has been reachable for ``connect_timeout`` seconds; raises
+    :class:`WorkerRejected` when the server refuses registration, since
+    reconnecting cannot fix a source mismatch.
+    """
+    emit = log or (lambda *a: None)
+    total = 0
+    sessions = 0
+    deadline = time.monotonic() + connect_timeout
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+        except OSError:
+            if time.monotonic() > deadline:
+                emit(f"no job server at {host}:{port} for {connect_timeout:.0f}s; exiting")
+                return total
+            time.sleep(0.25)
+            continue
+        sock.settimeout(None)
+        _enable_keepalive(sock)
+        try:
+            done = run_session(
+                sock, heartbeat_interval=heartbeat_interval, label=label
+            )
+            if done is not None:
+                total += done
+                sessions += 1
+                emit(f"session {sessions}: executed {done} points")
+        except (OSError, ValueError):
+            emit("session dropped; reconnecting")
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if max_sessions is not None and sessions >= max_sessions:
+            return total
+        deadline = time.monotonic() + connect_timeout

@@ -78,15 +78,37 @@ class ResultCache:
         path = self.path_for(key)
         try:
             data = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
             self.misses += 1
             return None
-        if data.get("code") != self.fingerprint:
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            # Truncated or corrupted on disk (e.g. a torn write from a
+            # crashed process, disk corruption): a miss, and evict the
+            # carcass so the slot heals on the next put.
+            self._evict(path)
+            self.misses += 1
+            return None
+        if not isinstance(data, dict) or data.get("code") != self.fingerprint:
             # Written by a different simulator source tree: stale.
             self.misses += 1
             return None
+        try:
+            return_value = result_from_dict(data["result"])
+        except (KeyError, TypeError, ValueError):
+            # Decodes as JSON but does not deserialize to a SimResult
+            # (schema drift or partial corruption): same treatment.
+            self._evict(path)
+            self.misses += 1
+            return None
         self.hits += 1
-        return result_from_dict(data["result"])
+        return return_value
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # already gone or unremovable; stays a miss
+            pass
 
     def put(self, key: str, result: SimResult, describe: dict | None = None) -> None:
         path = self.path_for(key)

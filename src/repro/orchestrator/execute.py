@@ -1,0 +1,33 @@
+"""The worker-side entry point: run one sweep point to completion.
+
+Lives in its own module (rather than :mod:`repro.orchestrator.runner`) so
+execution backends and the ``repro worker`` daemon can import it without
+pulling in the runner — the runner imports the backends, not vice versa.
+The function must stay module-level and picklable: the local pool backend
+ships it to forked/spawned worker processes.
+"""
+
+from __future__ import annotations
+
+from repro.orchestrator.sweep import SweepPoint
+from repro.sim.system import SimResult, System
+
+
+def execute_point(point: SweepPoint) -> SimResult:
+    """Run one sweep point to completion (the worker-side entry point)."""
+    system = System(
+        point.config,
+        list(point.profiles),
+        seed=point.seed,
+        instr_budget=point.instr_budget,
+    )
+    result = system.run(max_cycles=point.max_cycles)
+    result.meta["sweep"] = point.sweep
+    result.meta["coords"] = dict(point.coords)
+    result.meta["seed"] = point.seed
+    return result
+
+
+def execute_indexed(payload: tuple[int, SweepPoint]) -> tuple[int, SimResult]:
+    index, point = payload
+    return index, execute_point(point)

@@ -1,42 +1,95 @@
-"""Sweep execution: cache lookup, worker-pool sharding, result assembly.
+"""Sweep execution: store diffing, backend dispatch, result assembly.
 
 Each :class:`SweepPoint` is an independent simulation with its own
-explicit seed, so the runner can shard points across processes freely:
-serial and parallel execution are bit-identical by construction, and
-results always come back in grid order.
+explicit seed, so execution can shard points across any
+:class:`~repro.orchestrator.backends.ExecutionBackend` — in-process,
+a local process pool, or ``repro worker`` daemons over TCP — and results
+always come back in grid order: serial and distributed execution are
+bit-identical by construction.
+
+:func:`plan_sweep` diffs an expanded grid against the content-addressed
+:class:`~repro.orchestrator.cache.ResultCache` (keys fold in the full
+config *and* a fingerprint of the simulator source), which is what makes
+cross-sweep dedup work: overlapping sweeps sharing a store compute each
+point exactly once, and incremental re-runs dispatch only missing or
+stale points.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
+from repro.orchestrator.backends import ExecutionBackend, make_backend
 from repro.orchestrator.cache import ResultCache
-from repro.orchestrator.pool import _pool_context, default_workers
+from repro.orchestrator.execute import execute_point  # noqa: F401  (re-export)
+from repro.orchestrator.pool import default_workers
 from repro.orchestrator.sweep import Sweep, SweepPoint
-from repro.sim.system import SimResult, System
+from repro.sim.system import SimResult
 
 
-def execute_point(point: SweepPoint) -> SimResult:
-    """Run one sweep point to completion (the worker-side entry point)."""
-    system = System(
-        point.config,
-        list(point.profiles),
-        seed=point.seed,
-        instr_budget=point.instr_budget,
+@dataclass
+class SweepPlan:
+    """The grid diffed against the result store: what runs, what replays.
+
+    ``results`` holds the reused :class:`SimResult` for every store hit
+    (already re-stamped with this sweep's telemetry) and ``None`` at the
+    ``todo`` indices, which are the only points a backend will execute.
+    """
+
+    sweep: Sweep
+    points: tuple[SweepPoint, ...]
+    keys: tuple[str, ...]
+    results: list[SimResult | None]
+    todo: tuple[int, ...]
+
+    @property
+    def reused(self) -> int:
+        return len(self.points) - len(self.todo)
+
+    @property
+    def computed(self) -> int:
+        return len(self.todo)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.points)} points: {self.reused} reused from the store, "
+            f"{self.computed} to compute"
+        )
+
+
+def plan_sweep(sweep: Sweep, cache: ResultCache | str | Path | None) -> SweepPlan:
+    """Expand the grid and diff it against the store (None: all points run).
+
+    A store hit must be present *and* stamped with the current simulator
+    source fingerprint — stale entries read as misses, so "incremental"
+    can never replay results from changed code.
+    """
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+    points = sweep.expand()
+    keys = tuple(point.key for point in points)
+    results: list[SimResult | None] = [None] * len(points)
+    todo: list[int] = []
+    if cache is None:
+        todo = list(range(len(points)))
+    else:
+        for i, point in enumerate(points):
+            hit = cache.get(keys[i])
+            if hit is not None:
+                # Entries are content-addressed and may have been written by
+                # a different sweep; restamp the telemetry for this one.
+                hit.meta["sweep"] = point.sweep
+                hit.meta["coords"] = dict(point.coords)
+                hit.meta["seed"] = point.seed
+                results[i] = hit
+            else:
+                todo.append(i)
+    return SweepPlan(
+        sweep=sweep, points=points, keys=keys, results=results, todo=tuple(todo)
     )
-    result = system.run(max_cycles=point.max_cycles)
-    result.meta["sweep"] = point.sweep
-    result.meta["coords"] = dict(point.coords)
-    result.meta["seed"] = point.seed
-    return result
-
-
-def _execute_indexed(payload: tuple[int, SweepPoint]) -> tuple[int, SimResult]:
-    index, point = payload
-    return index, execute_point(point)
 
 
 @dataclass
@@ -50,6 +103,16 @@ class SweepResult:
     cache_misses: int
     workers: int
     elapsed_s: float
+    #: Which execution backend ran the missing points.
+    backend: str = "serial"
+    #: Store-dedup telemetry: grid points replayed from the shared store
+    #: vs dispatched to the backend (reused + computed == len(points)).
+    reused: int = 0
+    computed: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.computed < 0:
+            self.computed = len(self.points) - self.reused
 
     def __len__(self) -> int:
         return len(self.points)
@@ -80,60 +143,76 @@ def run_sweep(
     sweep: Sweep,
     workers: int | None = None,
     cache: ResultCache | str | Path | None = None,
+    backend: str | ExecutionBackend | None = None,
+    plan: SweepPlan | None = None,
 ) -> SweepResult:
-    """Execute every point of ``sweep``, using the cache when possible.
+    """Execute every point of ``sweep``, reusing the store when possible.
 
-    ``workers`` ≤ 1 runs in-process; larger values shard cache misses
-    across a process pool.  ``None`` picks :func:`default_workers`.
+    ``backend`` selects execution: ``None``/``"local"`` shards store
+    misses across a process pool of ``workers`` (≤ 1 runs in-process),
+    ``"serial"`` forces in-process, ``"socket"`` dispatches to connected
+    ``repro worker`` daemons, and any
+    :class:`~repro.orchestrator.backends.ExecutionBackend` instance is
+    used as-is (and not closed).  ``plan`` short-circuits the store diff
+    when the caller already ran :func:`plan_sweep` (e.g. to report an
+    incremental plan before dispatching).
     """
     start = time.perf_counter()
     if workers is None:
         workers = default_workers()
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
-
-    points = sweep.expand()
-    results: list[SimResult | None] = [None] * len(points)
-    todo: list[int] = []
-    keys: list[str] = [point.key for point in points]
     # Snapshot the (possibly reused) cache's counters to report deltas.
+    # A caller-provided plan already consumed its hits outside this call,
+    # so the plan's own tally stands in for the delta there.
+    caller_plan = plan is not None
     hits_before = cache.hits if cache is not None else 0
     misses_before = cache.misses if cache is not None else 0
-    if cache is not None:
-        for i, point in enumerate(points):
-            hit = cache.get(keys[i])
-            if hit is not None:
-                # Entries are content-addressed and may have been written by
-                # a different sweep; restamp the telemetry for this one.
-                hit.meta["sweep"] = point.sweep
-                hit.meta["coords"] = dict(point.coords)
-                hit.meta["seed"] = point.seed
-                results[i] = hit
-            else:
-                todo.append(i)
-    else:
-        todo = list(range(len(points)))
+    if plan is None:
+        plan = plan_sweep(sweep, cache)
+    results = plan.results
+    todo = plan.todo
 
+    backend_name = backend if isinstance(backend, str) else None
     if todo:
-        if workers > 1 and len(todo) > 1:
-            ctx = _pool_context()
-            payloads = [(i, points[i]) for i in todo]
-            with ctx.Pool(processes=min(workers, len(todo))) as pool:
-                for index, result in pool.imap_unordered(_execute_indexed, payloads):
-                    results[index] = result
-        else:
-            for i in todo:
-                results[i] = execute_point(points[i])
+        bk, owned = make_backend(backend, workers)
+        backend_name = bk.name
+        try:
+            jobs = [(i, plan.points[i]) for i in todo]
+            for index, result in bk.run_jobs(jobs):
+                results[index] = result
+        finally:
+            if owned:
+                bk.close()
+        missing = [i for i in todo if results[i] is None]
+        if missing:
+            raise RuntimeError(
+                f"backend {backend_name!r} returned no result for "
+                f"{len(missing)} points (first: {plan.points[missing[0]].label})"
+            )
         if cache is not None:
             for i in todo:
-                cache.put(keys[i], results[i], describe=dict(points[i].coords))
+                cache.put(
+                    plan.keys[i], results[i], describe=dict(plan.points[i].coords)
+                )
+    elif backend_name is None:
+        backend_name = backend.name if isinstance(backend, ExecutionBackend) else "local"
 
+    if caller_plan:
+        cache_hits, cache_misses = plan.reused, plan.computed
+    elif cache is not None:
+        cache_hits, cache_misses = cache.hits - hits_before, cache.misses - misses_before
+    else:
+        cache_hits, cache_misses = 0, len(todo)
     return SweepResult(
         sweep=sweep,
-        points=points,
+        points=plan.points,
         results=tuple(results),
-        cache_hits=(cache.hits - hits_before) if cache is not None else 0,
-        cache_misses=(cache.misses - misses_before) if cache is not None else len(todo),
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
         workers=workers,
         elapsed_s=time.perf_counter() - start,
+        backend=backend_name,
+        reused=plan.reused,
+        computed=plan.computed,
     )

@@ -16,6 +16,9 @@ parallelization must never break:
   ACTs both count, §5.2).
 - **tRP / tRAS** — ACT after PRE, PRE after ACT, outside HiRA internals.
 - **tWR** — write recovery: no PRE until tWR after a write burst lands.
+- **tRTP** — read-to-precharge: no PRE until tRTP after a RD command.
+- **Data bus** — RD/WR data bursts (tBL long, starting tCL/tCWL after
+  the column command) must never overlap on a channel's data bus.
 - **tRFC** — no command to a rank while a REF is in flight, and REF only
   with all banks precharged.
 - **Refresh deadline** — REF cadence never exceeds DDR4's nine-tREFI
@@ -34,13 +37,13 @@ REF_DEBIT_LIMIT = 9
 
 @dataclass(frozen=True, slots=True)
 class CommandRecord:
-    """One audited command: ``kind`` ∈ {ACT, PRE, REF, WR}.
+    """One audited command: ``kind`` ∈ {ACT, PRE, REF, RD, WR}.
 
     ``tag`` marks scheduling context: ``"demand"`` for normal commands,
     ``"hira2"`` for the engineered second ACT of a HiRA operation,
     ``"hira-pre"`` for its internal PRE, ``"refresh"`` for refresh ACTs,
     and ``"close"`` for the deferred PRE closing a refresh operation.
-    ``kind`` also admits ``WR`` write column accesses (for tWR).
+    ``RD``/``WR`` column accesses feed the tRTP/tWR and data-bus checks.
     """
 
     cycle: int
@@ -56,6 +59,8 @@ class _BankTrack:
     open_row: int | None = None
     last_act: int = -1 << 60
     last_pre: int = -1 << 60
+    #: Cycle of the most recent RD command (for tRTP).
+    last_rd: int = -1 << 60
     #: Cycle the most recent write data burst finishes landing (WR+CWL+BL).
     wr_done: int = -1 << 60
 
@@ -75,7 +80,9 @@ class CommandAuditor:
         self.trfc_c = mc.trfc_c
         self.trefi_c = mc.trefi_c
         self.twr_c = mc.twr_c
+        self.trtp_c = mc.trtp_c
         self.tcwl_c = mc.tcwl_c
+        self.tcl_c = mc.tcl_c
         self.tbl_c = mc.tbl_c
         self.hira_gap_c = mc.hira_gap_c
         self.banks_per_bankgroup = mc.config.geometry.banks_per_bankgroup
@@ -96,11 +103,9 @@ class CommandAuditor:
         self.records.append(CommandRecord(now, "REF", rank))
 
     def on_col(self, now: int, rank: int, bank: int, is_write: bool) -> None:
-        # Only writes are recorded: tWR is the sole column-command check,
-        # so RD records would inflate the replay for nothing (they become
-        # interesting once a data-bus/tRTP audit consumes them).
-        if is_write:
-            self.records.append(CommandRecord(now, "WR", rank, bank))
+        # Both directions are recorded: WR feeds the tWR check, RD feeds
+        # tRTP, and both feed the channel data-bus occupancy check.
+        self.records.append(CommandRecord(now, "WR" if is_write else "RD", rank, bank))
 
     def on_solo_refresh(self, now: int, rank: int, bank: int, close: int) -> None:
         self.records.append(CommandRecord(now, "ACT", rank, bank, tag="refresh"))
@@ -129,6 +134,9 @@ class CommandAuditor:
     def violations(self) -> list[str]:
         """Replay the stream in cycle order; one message per violation."""
         problems: list[str] = []
+        #: (burst start cycle, column record) for the data-bus occupancy
+        #: check; the controller is one channel, so all bursts share a bus.
+        bus_bursts: list[tuple[int, CommandRecord]] = []
         banks: dict[tuple[int, int], _BankTrack] = {}
         rank_acts: dict[int, list[int]] = {}
         #: (rank, bank group) -> cycle of the group's most recent ACT.
@@ -210,6 +218,11 @@ class CommandAuditor:
             elif rec.kind == "WR":
                 track = bank_of(rec)
                 track.wr_done = rec.cycle + self.tcwl_c + self.tbl_c
+                bus_bursts.append((rec.cycle + self.tcwl_c, rec))
+            elif rec.kind == "RD":
+                track = bank_of(rec)
+                track.last_rd = rec.cycle
+                bus_bursts.append((rec.cycle + self.tcl_c, rec))
             elif rec.kind == "PRE":
                 track = bank_of(rec)
                 if rec.tag != "hira-pre" and rec.cycle - track.last_act < self.tras_c:
@@ -227,6 +240,13 @@ class CommandAuditor:
                         f"({rec.rank},{rec.bank}): PRE "
                         f"{rec.cycle - track.wr_done} < {self.twr_c} "
                         f"cycles after write burst end"
+                    )
+                if rec.cycle - track.last_rd < self.trtp_c:
+                    problems.append(
+                        f"@{rec.cycle}: tRTP violation on bank "
+                        f"({rec.rank},{rec.bank}): PRE "
+                        f"{rec.cycle - track.last_rd} < {self.trtp_c} "
+                        f"cycles after RD"
                     )
                 track.last_pre = rec.cycle
                 track.open_row = None
@@ -266,6 +286,22 @@ class CommandAuditor:
                     if key[0] == rec.rank:
                         track.open_row = None
                         track.last_pre = max(track.last_pre, rec.cycle)
+
+        # Data-bus occupancy: each burst holds the channel's data bus for
+        # tBL starting tCL (RD) / tCWL (WR) after its column command; two
+        # bursts on one channel must never overlap.  Sorted by burst start
+        # (command order is not burst order: tCL > tCWL means a WR issued
+        # just after a RD would burst *earlier*), so adjacent-pair checking
+        # catches every overlap.
+        bus_bursts.sort(key=lambda item: item[0])
+        for (start, rec), (prev_start, prev) in zip(bus_bursts[1:], bus_bursts):
+            if start < prev_start + self.tbl_c:
+                problems.append(
+                    f"@{rec.cycle}: data-bus conflict: {rec.kind} burst on bank "
+                    f"({rec.rank},{rec.bank}) starts @{start}, before the "
+                    f"{prev.kind} burst from bank ({prev.rank},{prev.bank}) "
+                    f"ends @{prev_start + self.tbl_c}"
+                )
 
         # Endpoint refresh-deadline checks for REF-based engines: the gap
         # rule above only fires between two REFs, so a rank that is never

@@ -256,6 +256,7 @@ class MemoryController:
         self.trrd_s_c = c(tp.trrd_s)
         self.trrd_l_c = c(tp.trrd_l)
         self.twr_c = c(tp.twr)
+        self.trtp_c = c(tp.trtp)
         self.tcwl_c = c(tp.tcwl)
         self.hira_gap_c = c(tp.hira_t1 + tp.hira_t2)
 
@@ -592,8 +593,11 @@ class MemoryController:
         ranks = self.ranks
         # First pass: FR — oldest ready row hit.  Queues are homogeneous
         # (reads or writes), so the data-bus gate hoists out of the scan:
-        # when it blocks, no read in this queue can issue a column access.
-        if queue is self.write_q or now + self.tcl_c >= self.data_bus_next:
+        # bursts start a fixed tCL (reads) / tCWL (writes) after the column
+        # command, so when the bus is still busy at that offset no request
+        # in this queue can issue a column access.
+        burst_offset = self.tcwl_c if queue is self.write_q else self.tcl_c
+        if now + burst_offset >= self.data_bus_next:
             for idx, req in enumerate(queue):
                 addr = req.addr
                 rank = addr.rank
@@ -672,15 +676,21 @@ class MemoryController:
         if req.is_write:
             # Write recovery: the bank may not precharge until tWR after
             # the write data burst (WR + CWL + BL) has fully landed in the
-            # sense amplifiers.
+            # sense amplifiers.  The burst occupies the channel's data bus
+            # for tBL starting exactly tCWL after the command (the issue
+            # gate in `_schedule_queue` guarantees the bus is free then).
             burst_end = now + self.tcwl_c + self.tbl_c
+            self.data_bus_next = burst_end
             bank.next_pre = max(bank.next_pre, burst_end + self.twr_c)
             req.complete_cycle = burst_end
             self.stats.writes_served += 1
         else:
-            start = max(now + self.tcl_c, self.data_bus_next)
+            # The read burst starts exactly tCL after the command (the
+            # data-bus issue gate guarantees the bus is free by then) and
+            # the bank may not precharge until tRTP after the command.
+            start = now + self.tcl_c
             self.data_bus_next = start + self.tbl_c
-            bank.next_pre = max(bank.next_pre, now + self.tbl_c)
+            bank.next_pre = max(bank.next_pre, now + self.trtp_c)
             req.complete_cycle = start + self.tbl_c
             self.stats.reads_served += 1
             self.completions.append((req.complete_cycle, req))
@@ -726,6 +736,16 @@ class MemoryController:
             n = len(queue)
             if n > 8:
                 n = 8
+            if n:
+                # Data-bus gate: a column access can issue no earlier than
+                # tCL/tCWL before the bus frees; wake the controller then.
+                c = self.data_bus_next - (
+                    self.tcwl_c if queue is self.write_q else self.tcl_c
+                )
+                if c > now:
+                    have_future = True
+                    if c < best:
+                        best = c
             for qi in range(n):
                 addr = queue[qi].addr
                 rank, bank_id = addr.rank, addr.bank

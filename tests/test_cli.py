@@ -18,6 +18,24 @@ class TestParser:
         args = build_parser().parse_args(["security", "--nrh", "64", "--slack", "4"])
         assert args.nrh == 64.0 and args.slack == 4
 
+    def test_sweep_backend_args(self):
+        args = build_parser().parse_args([
+            "sweep", "--backend", "socket", "--port", "7000",
+            "--spawn-workers", "2", "--incremental",
+        ])
+        assert args.backend == "socket" and args.port == 7000
+        assert args.spawn_workers == 2 and args.incremental
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--backend", "mainframe"])
+
+    def test_worker_args(self):
+        args = build_parser().parse_args([
+            "worker", "--port", "7000", "--max-sessions", "1",
+            "--connect-timeout", "5",
+        ])
+        assert args.port == 7000 and args.max_sessions == 1
+        assert args.connect_timeout == 5.0
+
 
 class TestCommands:
     def test_security_command(self, capsys):
@@ -77,3 +95,60 @@ class TestCommands:
         )
         assert bad.returncode == 1
         assert "REGRESSED" in bad.stdout
+
+    def test_incremental_requires_store(self, capsys):
+        assert main([
+            "sweep", "--mixes", "1", "--instructions", "5000",
+            "--no-cache", "--incremental",
+        ]) == 2
+        assert "--incremental" in capsys.readouterr().out
+
+    def test_sweep_socket_backend_with_worker_thread(self, capsys, tmp_path):
+        # The full CLI path: `repro sweep --backend socket` against an
+        # in-process worker, then an overlapping incremental re-run that
+        # must reuse every shared point (cross-sweep dedup telemetry).
+        import json
+        import threading
+
+        from repro.orchestrator.backends.worker import serve
+
+        json1 = tmp_path / "one.json"
+        json2 = tmp_path / "two.json"
+        store = str(tmp_path / "store")
+        port = _free_port()
+        worker = threading.Thread(
+            target=serve, args=("127.0.0.1", port),
+            kwargs=dict(connect_timeout=60.0, max_sessions=2,
+                        heartbeat_interval=0.2),
+            daemon=True,
+        )
+        worker.start()
+        assert main([
+            "sweep", "--name", "one", "--modes", "baseline", "--capacities", "8",
+            "--mixes", "1", "--instructions", "5000", "--cache-dir", store,
+            "--backend", "socket", "--port", str(port),
+            "--json-out", str(json1),
+        ]) == 0
+        assert main([
+            "sweep", "--name", "two", "--modes", "baseline",
+            "--capacities", "8,32", "--mixes", "1", "--instructions", "5000",
+            "--cache-dir", store, "--backend", "socket", "--port", str(port),
+            "--incremental", "--json-out", str(json2),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "incremental: 2 points: 1 reused from the store, 1 to compute" in out
+        worker.join(timeout=15)
+        one = json.loads(json1.read_text())
+        two = json.loads(json2.read_text())
+        assert one["backend"] == two["backend"] == "socket"
+        assert (one["reused"], one["computed"]) == (0, 1)
+        # The shared 8 Gbit point was NOT recomputed by the second sweep.
+        assert (two["reused"], two["computed"]) == (1, 1)
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]

@@ -138,6 +138,44 @@ class TestCache:
         changed = run_sweep(tiny_sweep(instr=7_000), workers=1, cache=cache)
         assert changed.cache_hits == 0
 
+    def test_truncated_entry_reads_as_miss_and_heals(self, tmp_path):
+        # A crash mid-write (or disk corruption) must never poison a sweep:
+        # the torn entry reads as a miss, is evicted, and the point re-runs.
+        cache = ResultCache(tmp_path / "c")
+        sweep = tiny_sweep()
+        cold = run_sweep(sweep, workers=1, cache=cache)
+        victim_key = sweep.expand()[0].key
+        victim = cache.path_for(victim_key)
+        full = victim.read_text()
+        victim.write_text(full[: len(full) // 2])  # half-written JSON
+        healed = run_sweep(sweep, workers=1, cache=cache)
+        assert healed.cache_misses == 1
+        assert healed.cache_hits == len(healed) - 1
+        assert [result_to_dict(r) for r in healed.results] == [
+            result_to_dict(r) for r in cold.results
+        ]
+        # The carcass was evicted and replaced by the re-run's entry.
+        assert victim.exists()
+        assert run_sweep(sweep, workers=1, cache=cache).cache_hits == len(cold)
+
+    def test_wrong_shape_entry_reads_as_miss(self, tmp_path):
+        # Valid JSON that is not a cache entry (schema drift, partial
+        # corruption past the fingerprint) must also read as a miss.
+        cache = ResultCache(tmp_path / "c")
+        sweep = tiny_sweep()
+        run_sweep(sweep, workers=1, cache=cache)
+        key = sweep.expand()[0].key
+        path = cache.path_for(key)
+        import json
+
+        body = json.loads(path.read_text())
+        del body["result"]["ipcs"]  # fingerprint intact, payload mangled
+        path.write_text(json.dumps(body))
+        assert cache.get(key) is None
+        assert not path.exists()  # evicted
+        path.write_text(json.dumps([1, 2, 3]))  # not even a dict
+        assert cache.get(key) is None
+
 
 class TestParallelEquality:
     def test_serial_and_parallel_bit_identical(self):

@@ -1,0 +1,50 @@
+"""Gate on cross-sweep dedup: shared points must never be recomputed.
+
+Reads two ``repro sweep --json-out`` payloads from sweeps that share a
+result store, where the second sweep's grid contains every point of the
+first (the CI smoke runs a superset grid).  Fails (exit 1) if the second
+sweep recomputed any of the shared points — i.e. if the content-addressed
+store did not dedup them — or if it computed more than its new points.
+
+Usage::
+
+    python tools/check_dedup.py first.json second.json \
+        --max-recomputed-shared 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("first_json")
+    parser.add_argument("second_json")
+    parser.add_argument("--shared", type=int, default=None,
+                        help="points the sweeps share (default: all of the "
+                             "first sweep's grid)")
+    parser.add_argument("--max-recomputed-shared", type=int, default=0,
+                        dest="max_recomputed",
+                        help="tolerated shared-point recomputations")
+    args = parser.parse_args(argv)
+    first = json.loads(open(args.first_json).read())
+    second = json.loads(open(args.second_json).read())
+    shared = first["runs"] if args.shared is None else args.shared
+    new_points = second["runs"] - shared
+    recomputed_shared = max(0, second["computed"] - new_points)
+    verdict = "ok" if recomputed_shared <= args.max_recomputed else "REGRESSED"
+    print(
+        f"{first.get('name')!r} ({first['runs']} points) then "
+        f"{second.get('name')!r} ({second['runs']} points, {shared} shared): "
+        f"reused {second['reused']}, computed {second['computed']}, "
+        f"recomputed shared {recomputed_shared} "
+        f"(limit {args.max_recomputed}) {verdict}"
+    )
+    return 1 if verdict == "REGRESSED" else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
