@@ -73,6 +73,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         channels=args.channels,
         ranks_per_channel=args.ranks,
         refresh_mode=args.mode,
+        refresh_granularity=args.granularity,
         tref_slack_acts=args.slack,
         para_nrh=args.para_nrh,
     )
@@ -86,6 +87,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ["cycles", result.cycles],
             ["reads served", result.stat_total("reads_served")],
             ["REF commands", result.stat_total("refs")],
+            ["REFsb commands", result.stat_total("refs_sb")],
             ["solo refreshes", result.stat_total("solo_refreshes")],
             ["refresh-access HiRA ops", result.stat_total("hira_access_parallelized")],
             ["refresh-refresh HiRA ops", result.stat_total("hira_refresh_parallelized")],
@@ -133,6 +135,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         axes.append(axis("ranks_per_channel", *_parse_list(args.ranks, int)))
     if args.nrhs:
         axes.append(axis("para_nrh", *_parse_list(args.nrhs, float)))
+    if args.granularities != "all_bank":
+        axes.append(
+            axis("refresh_granularity", *_parse_list(args.granularities, str))
+        )
 
     sweep = Sweep(
         name=args.name,
@@ -317,6 +323,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--channels", type=int, default=1)
     p.add_argument("--ranks", type=int, default=1)
     p.add_argument("--mode", choices=("none", "baseline", "elastic", "hira"), default="hira")
+    p.add_argument("--granularity", choices=("all_bank", "same_bank"),
+                   default="all_bank",
+                   help="refresh command granularity: DDR4-style rank-wide "
+                        "REF or DDR5-style per-bank REFsb")
     p.add_argument("--slack", type=int, default=2)
     p.add_argument("--para-nrh", type=float, default=None, dest="para_nrh")
     p.add_argument("--mix", type=int, default=0)
@@ -333,6 +343,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--channels", default="1")
     p.add_argument("--ranks", default="1")
     p.add_argument("--nrhs", default="", help="PARA RowHammer thresholds (optional)")
+    p.add_argument("--granularities", default="all_bank",
+                   help="comma list of refresh granularities "
+                        "(all_bank,same_bank); a non-default list adds a "
+                        "refresh_granularity sweep axis")
     p.add_argument("--mixes", type=int, default=2, help="workload mixes per point")
     p.add_argument("--instructions", type=int, default=100_000)
     p.add_argument("--max-cycles", type=int, default=10_000_000, dest="max_cycles")

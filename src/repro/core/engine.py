@@ -96,7 +96,16 @@ class HiraRefreshEngine(RefreshEngine):
             r: PrFifo(geom.banks_per_rank, depth=self.pr_fifo_depth)
             for r in range(config.ranks_per_channel)
         }
+        #: Same-bank granularity: the periodic stream becomes one REFsb
+        #: per bank per tREFI (each pending entry is a whole REFsb command
+        #: scheduled with tRefSlack, overlapped with demand to *other*
+        #: banks); preventive requests stay row-granular HiRA work.
+        self._same_bank = config.refresh_granularity == "same_bank"
+        #: Banks committed to an imminent REFsb (demand deferred).
+        self._sb_blocked: set[tuple[int, int]] = set()
         period = config.per_bank_refresh_interval_cycles
+        if self._same_bank:
+            period = float(mc.trefi_c)
         self._periodic: dict[tuple[int, int], _BankPeriodicState] = {}
         self._gen_heap: list[tuple[int, int, int]] = []
         #: Banks that currently hold at least one pending refresh request;
@@ -212,6 +221,16 @@ class HiraRefreshEngine(RefreshEngine):
         sa_demand = self.spt.subarray_of_row(req.addr.row)
         periodic = self._periodic[(rank, bank)]
         preventive_head = self.pr[rank].head(bank)
+        if self._same_bank:
+            # Periodic items are whole REFsb commands, not rows: only a
+            # preventive (victim-row) refresh can ride a demand ACT.
+            if preventive_head is not None:
+                sa_victim = self.spt.subarray_of_row(preventive_head.row)
+                if self.spt.isolated(sa_victim, sa_demand):
+                    self.pr[rank].pop(bank)
+                    self._refresh_active(rank, bank)
+                    return preventive_head.row
+            return None
         periodic_deadline = self._periodic_deadline(periodic)
         preventive_deadline = preventive_head.deadline if preventive_head else _FAR_FUTURE
         # ACT-bandwidth awareness: a refresh-access HiRA op spends a second
@@ -304,6 +323,10 @@ class HiraRefreshEngine(RefreshEngine):
             if deadline > cutoff:
                 continue
             rank, bank_id = key
+            if self._same_bank:
+                if self._sb_handle_due(key, rank, bank_id, now):
+                    return True
+                continue
             if not mc.rank_available(rank, now):
                 continue
             bank = mc.bank(rank, bank_id)
@@ -319,6 +342,62 @@ class HiraRefreshEngine(RefreshEngine):
             self._perform_due_refresh(rank, bank_id, now)
             return True
         return False
+
+    def _sb_periodic_first(self, key: tuple[int, int]) -> bool:
+        """Whether the bank's due item is its periodic REFsb (vs a
+        preventive row refresh)."""
+        head = self.pr[key[0]].head(key[1])
+        periodic_deadline = self._periodic_deadline(self._periodic[key])
+        return head is None or periodic_deadline <= head.deadline
+
+    def _sb_handle_due(
+        self, key: tuple[int, int], rank: int, bank_id: int, now: int
+    ) -> bool:
+        """Due refresh work for one bank in same-bank mode.
+
+        A due periodic item is one REFsb: commit the bank (defer demand so
+        a hot row-hit stream cannot keep it open past the deadline),
+        precharge it, wait out tRP and the rank's tREFSB_GAP, then issue.
+        A due preventive item stays a row-granular nominal refresh with
+        the usual ACT gates (and may still pair with a second preventive).
+        """
+        mc = self.mc
+        head = self.pr[rank].head(bank_id)
+        periodic = self._periodic[key]
+        periodic_deadline = self._periodic_deadline(periodic)
+        preventive_deadline = head.deadline if head is not None else _FAR_FUTURE
+        refsb_first = periodic_deadline <= preventive_deadline
+        if refsb_first and key not in self._sb_blocked:
+            self._sb_blocked.add(key)
+            mc.blocked_banks.add(key)
+            mc.mark_dirty()
+        if not mc.rank_available(rank, now):
+            return False
+        bank = mc.bank(rank, bank_id)
+        if bank.open_row is not None:
+            if now >= bank.next_pre:
+                mc.issue_pre(rank, bank_id, now)
+                return True
+            return False
+        if refsb_first:
+            # next_act carries tRP-after-PRE and any previous REFsb busy
+            # window; next_refsb is the rank's REFsb spacing.
+            if now < bank.next_act or now < mc.ranks[rank].next_refsb:
+                return False
+            if now > periodic_deadline + mc.trc_c:
+                mc.stats.deadline_misses += 1
+            periodic.pending.popleft()
+            self._refresh_active(rank, bank_id)
+            self._sb_blocked.discard(key)
+            mc.blocked_banks.discard(key)
+            mc.issue_refsb(rank, bank_id, now)
+            return True
+        if now < bank.next_act or not mc.faw_ok(rank, now) or not mc.trrd_ok(rank, bank_id, now):
+            return False
+        if now > preventive_deadline + mc.trc_c:
+            mc.stats.deadline_misses += 1
+        self._perform_due_refresh(rank, bank_id, now)
+        return True
 
     def _pop_first_due(self, rank: int, bank_id: int) -> int | None:
         """Pop the earliest-deadline pending refresh; returns its row."""
@@ -362,6 +441,10 @@ class HiraRefreshEngine(RefreshEngine):
             row = self.pr[rank].pop(bank_id).row
             self._refresh_active(rank, bank_id)
             return row
+        if self._same_bank:
+            # Periodic items are REFsb commands, not rows: neither the
+            # pending queue nor eager pull-forward can supply a partner.
+            return None
         periodic = self._periodic[(rank, bank_id)]
         if periodic.pending:
             partner = self.spt.partner_subarray((rank, bank_id), sa_first)
@@ -445,6 +528,13 @@ class HiraRefreshEngine(RefreshEngine):
                 if bank.open_row is not None:
                     if bank.next_pre > gate:
                         gate = bank.next_pre
+                elif self._same_bank and self._sb_periodic_first(key):
+                    # The due item is a REFsb: gated by the bank's busy
+                    # window and the rank's REFsb spacing, not ACT gates.
+                    if bank.next_act > gate:
+                        gate = bank.next_act
+                    if ranks[rank].next_refsb > gate:
+                        gate = ranks[rank].next_refsb
                 else:
                     act_gate = mc.act_allowed_at(rank, bank_id)
                     if act_gate > gate:

@@ -46,6 +46,17 @@ class TimingParams:
     - ``trtp``: read-to-precharge — the minimum delay between a RD command
       and a PRE to the same bank (the read must drain from the sense
       amplifiers before the row closes).
+    - ``trtw`` / ``twtr``: data-bus turnaround — the minimum idle gap on a
+      channel's data bus between the end of a read burst and the start of
+      a write burst (``trtw``: the bus and on-die termination must switch
+      direction) and between the end of a write burst and the start of a
+      read burst (``twtr``: written data must reach the sense amplifiers
+      before a read can stream out).  Zero disables turnaround gating.
+    - ``trfc_sb``: same-bank refresh latency — how long a DDR5-style REFsb
+      blocks its *one* target bank (the rest of the rank stays available,
+      unlike the rank-wide ``trfc`` of an all-bank REF).
+    - ``trefsb_gap``: minimum spacing between consecutive REFsb commands
+      to the same rank (shared refresh-control resources).
     - ``tcwl``: CAS write latency (WR command → start of write data burst).
     - ``tcl`` / ``tbl``: column access latency / data burst duration, used by
       the system simulator to time read completion.
@@ -73,6 +84,18 @@ class TimingParams:
     tcwl: int = ns(10.0)
     tcl: int = ns(14.25)
     tbl: int = ns(3.33)
+    #: Read→write bus turnaround: two bus clocks at DDR4-2400 (the DQ bus
+    #: and ODT switch direction between the RD and WR bursts).
+    trtw: int = ns(1.666)
+    #: Write→read turnaround, dominated by tWTR_L (7.5 ns at DDR4-2400):
+    #: written data must land internally before a read can stream out.
+    twtr: int = ns(7.5)
+    #: DDR5-style same-bank refresh (REFsb) latency: one bank blocked for
+    #: ~0.4 × tRFC while its sibling banks keep serving demand.  Scales
+    #: with tRFC under :meth:`with_trfc` (capacity scaling).
+    trfc_sb: int = ns(140.0)
+    #: Minimum REFsb→REFsb spacing on a rank (shared refresh control).
+    trefsb_gap: int = ns(30.0)
     hira_t1: int = ns(3.0)
     hira_t2: int = ns(3.0)
 
@@ -89,10 +112,20 @@ class TimingParams:
             )
         for name in (
             "tck", "trcd", "tras", "trp", "trfc", "trefi", "trefw", "tfaw",
-            "trrd_s", "trrd_l", "twr", "trtp", "tcwl",
+            "trrd_s", "trrd_l", "twr", "trtp", "tcwl", "trfc_sb",
+            "trefsb_gap",
         ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        for name in ("trtw", "twtr"):  # zero = turnaround gating disabled
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.trfc_sb > self.trfc:
+            raise ValueError(
+                "tRFC_sb must not exceed tRFC "
+                f"({self.trfc_sb} > {self.trfc}): refreshing one bank "
+                "cannot take longer than refreshing the whole rank"
+            )
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -107,8 +140,14 @@ class TimingParams:
         return self.hira_t1 + self.hira_t2
 
     def with_trfc(self, trfc_ps: int) -> "TimingParams":
-        """A copy with a different refresh latency (for capacity scaling)."""
-        return replace(self, trfc=trfc_ps)
+        """A copy with a different refresh latency (for capacity scaling).
+
+        ``trfc_sb`` scales by the same factor: both latencies are dominated
+        by the same row-refresh work per command, so the same-bank/all-bank
+        ratio is a device property that capacity scaling preserves.
+        """
+        sb = max(1, round(self.trfc_sb * trfc_ps / self.trfc))
+        return replace(self, trfc=trfc_ps, trfc_sb=sb)
 
     def with_hira(self, t1_ps: int, t2_ps: int) -> "TimingParams":
         """A copy with different HiRA t1/t2 timings."""
@@ -138,6 +177,13 @@ DDR5_4800 = TimingParams(
     tcwl=ns(10.0),
     tcl=ns(14.0),
     tbl=ns(3.33),
+    # Two bus clocks at the faster DDR5-4800 tCK; tWTR_L grows to 10 ns.
+    trtw=ns(0.832),
+    twtr=ns(10.0),
+    # DDR5 fine-granularity refresh: tRFCsb ≈ 115 ns for an 8 Gbit die,
+    # with ~30 ns between same-bank REF commands on a rank.
+    trfc_sb=ns(115.0),
+    trefsb_gap=ns(30.0),
 )
 
 

@@ -19,10 +19,19 @@ parallelization must never break:
 - **tRTP** — read-to-precharge: no PRE until tRTP after a RD command.
 - **Data bus** — RD/WR data bursts (tBL long, starting tCL/tCWL after
   the column command) must never overlap on a channel's data bus.
+- **tRTW / tWTR** — bus turnaround: a burst in the opposite direction to
+  its predecessor additionally leaves the turnaround gap after the
+  previous burst's end (tRTW after a read, tWTR after a write).
 - **tRFC** — no command to a rank while a REF is in flight, and REF only
   with all banks precharged.
+- **tRFC_sb / tREFSB_GAP** — same-bank refresh: REFsb only to a
+  precharged bank (tRP after its PRE), no command to that bank for
+  tRFC_sb afterwards, no rank-level REF while a REFsb is in flight, and
+  consecutive REFsb commands on a rank at least tREFSB_GAP apart.
 - **Refresh deadline** — REF cadence never exceeds DDR4's nine-tREFI
-  postponement debit limit (baseline and elastic engines).
+  postponement debit limit (baseline and elastic engines); in same-bank
+  mode the same nine-interval limit applies to every bank's REFsb
+  cadence individually.
 
 The auditor is pure observation: attaching one never changes scheduling.
 """
@@ -37,7 +46,7 @@ REF_DEBIT_LIMIT = 9
 
 @dataclass(frozen=True, slots=True)
 class CommandRecord:
-    """One audited command: ``kind`` ∈ {ACT, PRE, REF, RD, WR}.
+    """One audited command: ``kind`` ∈ {ACT, PRE, REF, REFSB, RD, WR}.
 
     ``tag`` marks scheduling context: ``"demand"`` for normal commands,
     ``"hira2"`` for the engineered second ACT of a HiRA operation,
@@ -63,6 +72,11 @@ class _BankTrack:
     last_rd: int = -1 << 60
     #: Cycle the most recent write data burst finishes landing (WR+CWL+BL).
     wr_done: int = -1 << 60
+    #: Cycle the bank's most recent same-bank refresh completes.
+    refsb_busy_until: int = -1 << 60
+    #: Cycles of the bank's first/most recent REFSB (cadence + endpoints).
+    first_refsb: int | None = None
+    last_refsb: int | None = None
 
 
 class CommandAuditor:
@@ -84,9 +98,15 @@ class CommandAuditor:
         self.tcwl_c = mc.tcwl_c
         self.tcl_c = mc.tcl_c
         self.tbl_c = mc.tbl_c
+        self.trtw_c = mc.trtw_c
+        self.twtr_c = mc.twtr_c
+        self.trfc_sb_c = mc.trfc_sb_c
+        self.trefsb_gap_c = mc.trefsb_gap_c
         self.hira_gap_c = mc.hira_gap_c
         self.banks_per_bankgroup = mc.config.geometry.banks_per_bankgroup
+        self.banks_per_rank = mc.banks_per_rank
         self.refresh_mode = mc.config.refresh_mode
+        self.refresh_granularity = mc.config.refresh_granularity
         self.n_ranks = mc.config.ranks_per_channel
         self.records: list[CommandRecord] = []
 
@@ -101,6 +121,9 @@ class CommandAuditor:
 
     def on_ref(self, now: int, rank: int) -> None:
         self.records.append(CommandRecord(now, "REF", rank))
+
+    def on_refsb(self, now: int, rank: int, bank: int) -> None:
+        self.records.append(CommandRecord(now, "REFSB", rank, bank))
 
     def on_col(self, now: int, rank: int, bank: int, is_write: bool) -> None:
         # Both directions are recorded: WR feeds the tWR check, RD feeds
@@ -143,6 +166,8 @@ class CommandAuditor:
         group_acts: dict[tuple[int, int], int] = {}
         ref_busy_until: dict[int, int] = {}
         last_ref: dict[int, int] = {}
+        #: rank -> cycle of the rank's most recent REFSB (tREFSB_GAP).
+        last_refsb_rank: dict[int, int] = {}
 
         def bank_of(record: CommandRecord) -> _BankTrack:
             return banks.setdefault((record.rank, record.bank), _BankTrack())
@@ -157,6 +182,11 @@ class CommandAuditor:
                     problems.append(
                         f"@{rec.cycle}: ACT to rank {rec.rank} during REF "
                         f"(busy until {ref_busy_until[rec.rank]})"
+                    )
+                if rec.cycle < track.refsb_busy_until:
+                    problems.append(
+                        f"@{rec.cycle}: ACT to bank ({rec.rank},{rec.bank}) "
+                        f"during REFsb (busy until {track.refsb_busy_until})"
                     )
                 if rec.tag == "hira2":
                     gap = rec.cycle - track.last_act
@@ -217,10 +247,20 @@ class CommandAuditor:
                 group_acts[group_of(rec)] = rec.cycle
             elif rec.kind == "WR":
                 track = bank_of(rec)
+                if rec.cycle < track.refsb_busy_until:
+                    problems.append(
+                        f"@{rec.cycle}: WR to bank ({rec.rank},{rec.bank}) "
+                        f"during REFsb (busy until {track.refsb_busy_until})"
+                    )
                 track.wr_done = rec.cycle + self.tcwl_c + self.tbl_c
                 bus_bursts.append((rec.cycle + self.tcwl_c, rec))
             elif rec.kind == "RD":
                 track = bank_of(rec)
+                if rec.cycle < track.refsb_busy_until:
+                    problems.append(
+                        f"@{rec.cycle}: RD to bank ({rec.rank},{rec.bank}) "
+                        f"during REFsb (busy until {track.refsb_busy_until})"
+                    )
                 track.last_rd = rec.cycle
                 bus_bursts.append((rec.cycle + self.tcl_c, rec))
             elif rec.kind == "PRE":
@@ -250,6 +290,54 @@ class CommandAuditor:
                     )
                 track.last_pre = rec.cycle
                 track.open_row = None
+            elif rec.kind == "REFSB":
+                track = bank_of(rec)
+                if rec.cycle < ref_busy_until.get(rec.rank, -1):
+                    problems.append(
+                        f"@{rec.cycle}: REFsb to rank {rec.rank} during REF "
+                        f"(busy until {ref_busy_until[rec.rank]})"
+                    )
+                if track.open_row is not None:
+                    problems.append(
+                        f"@{rec.cycle}: REFsb to open bank "
+                        f"({rec.rank},{rec.bank})"
+                    )
+                if rec.cycle - track.last_pre < self.trp_c:
+                    problems.append(
+                        f"@{rec.cycle}: REFsb to bank ({rec.rank},{rec.bank}) "
+                        f"only {rec.cycle - track.last_pre} < {self.trp_c} "
+                        f"cycles after PRE"
+                    )
+                if rec.cycle < track.refsb_busy_until:
+                    problems.append(
+                        f"@{rec.cycle}: REFsb to bank ({rec.rank},{rec.bank}) "
+                        f"during REFsb (busy until {track.refsb_busy_until})"
+                    )
+                previous_rank = last_refsb_rank.get(rec.rank)
+                if (
+                    previous_rank is not None
+                    and rec.cycle - previous_rank < self.trefsb_gap_c
+                ):
+                    problems.append(
+                        f"@{rec.cycle}: tREFSB_GAP violation on rank "
+                        f"{rec.rank}: REFsb {rec.cycle - previous_rank} < "
+                        f"{self.trefsb_gap_c} cycles after previous REFsb"
+                    )
+                if (
+                    track.last_refsb is not None
+                    and rec.cycle - track.last_refsb
+                    > REF_DEBIT_LIMIT * self.trefi_c + self.trfc_sb_c
+                ):
+                    problems.append(
+                        f"@{rec.cycle}: refresh deadline violation on bank "
+                        f"({rec.rank},{rec.bank}): {rec.cycle - track.last_refsb} "
+                        f"cycles since last REFsb (limit {REF_DEBIT_LIMIT} x tREFI)"
+                    )
+                last_refsb_rank[rec.rank] = rec.cycle
+                if track.first_refsb is None:
+                    track.first_refsb = rec.cycle
+                track.last_refsb = rec.cycle
+                track.refsb_busy_until = rec.cycle + self.trfc_sb_c
             elif rec.kind == "REF":
                 open_banks = [
                     key
@@ -260,6 +348,16 @@ class CommandAuditor:
                     problems.append(
                         f"@{rec.cycle}: REF to rank {rec.rank} with open banks "
                         f"{open_banks}"
+                    )
+                refsb_busy = [
+                    key
+                    for key, track in banks.items()
+                    if key[0] == rec.rank and rec.cycle < track.refsb_busy_until
+                ]
+                if refsb_busy:
+                    problems.append(
+                        f"@{rec.cycle}: REF to rank {rec.rank} with REFsb in "
+                        f"flight on banks {refsb_busy}"
                     )
                 last_pre = max(
                     (t.last_pre for k, t in banks.items() if k[0] == rec.rank),
@@ -295,18 +393,67 @@ class CommandAuditor:
         # catches every overlap.
         bus_bursts.sort(key=lambda item: item[0])
         for (start, rec), (prev_start, prev) in zip(bus_bursts[1:], bus_bursts):
-            if start < prev_start + self.tbl_c:
+            prev_end = prev_start + self.tbl_c
+            if start < prev_end:
                 problems.append(
                     f"@{rec.cycle}: data-bus conflict: {rec.kind} burst on bank "
                     f"({rec.rank},{rec.bank}) starts @{start}, before the "
                     f"{prev.kind} burst from bank ({prev.rank},{prev.bank}) "
-                    f"ends @{prev_start + self.tbl_c}"
+                    f"ends @{prev_end}"
                 )
+            elif prev.kind != rec.kind:
+                # Bus turnaround: a direction change additionally leaves
+                # tRTW (after a read) / tWTR (after a write) of idle bus.
+                name, gap = (
+                    ("tRTW", self.trtw_c) if prev.kind == "RD"
+                    else ("tWTR", self.twtr_c)
+                )
+                if start < prev_end + gap:
+                    problems.append(
+                        f"@{rec.cycle}: {name} violation: {rec.kind} burst on "
+                        f"bank ({rec.rank},{rec.bank}) starts @{start}, only "
+                        f"{start - prev_end} < {gap} cycles after the "
+                        f"{prev.kind} burst from bank ({prev.rank},{prev.bank}) "
+                        f"ends @{prev_end}"
+                    )
 
         # Endpoint refresh-deadline checks for REF-based engines: the gap
         # rule above only fires between two REFs, so a rank that is never
         # (or no longer) refreshed must be flagged from the stream bounds.
-        if self.refresh_mode in ("baseline", "elastic") and self.records:
+        # Same-bank mode applies the analogous per-bank REFsb bounds to
+        # every engine that owes a periodic cadence (baseline, elastic,
+        # and HiRA's tRefSlack-scheduled REFsb stream).
+        if (
+            self.refresh_granularity == "same_bank"
+            and self.refresh_mode in ("baseline", "elastic", "hira")
+            and self.records
+        ):
+            end = max(r.cycle for r in self.records)
+            limit = REF_DEBIT_LIMIT * self.trefi_c + self.trfc_sb_c
+            for rank in range(self.n_ranks):
+                for bank in range(self.banks_per_rank):
+                    track = banks.get((rank, bank))
+                    last = track.last_refsb if track is not None else None
+                    if last is None:
+                        if end > limit:
+                            problems.append(
+                                f"bank ({rank},{bank}): no REFsb issued in "
+                                f"{end} cycles (limit {REF_DEBIT_LIMIT} x tREFI)"
+                            )
+                        continue
+                    first = track.first_refsb
+                    if first > limit:
+                        problems.append(
+                            f"bank ({rank},{bank}): first REFsb only at {first} "
+                            f"cycles (limit {REF_DEBIT_LIMIT} x tREFI)"
+                        )
+                    if end - last > limit:
+                        problems.append(
+                            f"bank ({rank},{bank}): no REFsb in the last "
+                            f"{end - last} cycles of the stream "
+                            f"(limit {REF_DEBIT_LIMIT} x tREFI)"
+                        )
+        elif self.refresh_mode in ("baseline", "elastic") and self.records:
             end = max(r.cycle for r in self.records)
             limit = REF_DEBIT_LIMIT * self.trefi_c + self.trfc_c
             for rank in range(self.n_ranks):

@@ -23,6 +23,17 @@ class SystemConfig:
     ``"hira"`` (HiRA-MC).  ``tref_slack_acts`` is the N of HiRA-N
     (tRefSlack = N × tRC).  ``para_nrh`` enables PARA preventive refreshes
     configured for that RowHammer threshold (None disables PARA).
+
+    ``refresh_granularity`` selects the refresh command granularity:
+    ``"all_bank"`` (DDR4-style rank-level REF, tRFC blocks the whole rank)
+    or ``"same_bank"`` (DDR5-style REFsb: each bank is refreshed
+    individually every tREFI, blocking only that bank for tRFC_sb while
+    its siblings keep serving demand).  It is orthogonal to
+    ``refresh_mode``: baseline issues REFsb on a fixed per-bank cadence,
+    elastic postpones per-bank REFsb into idle time within the same
+    8-command budget, and HiRA's periodic stream becomes deadline-slacked
+    REFsb commands that the scheduler overlaps with demand to *other
+    banks* (preventive refreshes stay row-granular HiRA operations).
     """
 
     capacity_gbit: float = 8.0
@@ -43,6 +54,7 @@ class SystemConfig:
     write_drain_low: int = 16
 
     refresh_mode: str = "baseline"
+    refresh_granularity: str = "all_bank"
     tref_slack_acts: int = 2
     stagger_bank_refresh: bool = True
     #: Preventive-refresh mechanism: "para" (probabilistic [84]) or
@@ -74,6 +86,10 @@ class SystemConfig:
     def __post_init__(self) -> None:
         if self.refresh_mode not in ("none", "baseline", "elastic", "hira"):
             raise ValueError(f"unknown refresh_mode {self.refresh_mode!r}")
+        if self.refresh_granularity not in ("all_bank", "same_bank"):
+            raise ValueError(
+                f"unknown refresh_granularity {self.refresh_granularity!r}"
+            )
         if self.defense not in ("para", "graphene"):
             raise ValueError(f"unknown defense {self.defense!r}")
         if self.geometry is None:

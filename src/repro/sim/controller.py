@@ -41,6 +41,9 @@ class _RankState:
     #: Earliest cycle a rank-level REF may issue: every bank precharged for
     #: tRP, including the deferred closes of in-flight refresh operations.
     ref_ready: int = 0
+    #: Earliest cycle the next same-bank REFsb may issue on this rank
+    #: (tREFSB_GAP: consecutive REFsb commands share refresh control).
+    next_refsb: int = 0
 
 
 @dataclass(slots=True)
@@ -54,6 +57,7 @@ class ControllerStats:
     acts: int = 0
     pres: int = 0
     refs: int = 0
+    refs_sb: int = 0
     solo_refreshes: int = 0
     hira_access_parallelized: int = 0
     hira_refresh_parallelized: int = 0
@@ -188,16 +192,121 @@ class NoRefreshEngine(RefreshEngine):
 
 
 class BaselineRefreshEngine(RefreshEngine):
-    """Rank-level REF every tREFI, blocking the rank for tRFC (§2.3)."""
+    """Rank-level REF every tREFI, blocking the rank for tRFC (§2.3).
+
+    With ``refresh_granularity="same_bank"`` the engine instead issues a
+    DDR5-style REFsb to every bank once per tREFI (staggered across the
+    channel's banks): each command blocks only its target bank for
+    tRFC_sb, so sibling banks keep serving demand during refresh.
+    """
 
     def attach(self, mc: "MemoryController") -> None:
         super().attach(mc)
         trefi = mc.trefi_c
+        self._same_bank = mc.config.refresh_granularity == "same_bank"
+        if self._same_bank:
+            #: Per-bank REFsb due times (each bank every tREFI), plus a
+            #: heap mirror for O(log n) promotion and a draining set for
+            #: banks committed to an imminent REFsb.
+            self._sb_due: dict[tuple[int, int], int] = {}
+            self._sb_heap: list[tuple[int, int, int]] = []
+            self._sb_draining: set[tuple[int, int]] = set()
+            total = len(mc.ranks) * mc.banks_per_rank
+            index = 0
+            for rank_id in range(len(mc.ranks)):
+                for bank_id in range(mc.banks_per_rank):
+                    due = ((index + 1) * trefi) // total
+                    self._sb_due[(rank_id, bank_id)] = due
+                    heapq.heappush(self._sb_heap, (due, rank_id, bank_id))
+                    index += 1
+            return
         for i, rank in enumerate(mc.ranks):
             # Stagger REF across ranks so they do not collide on the bus.
             rank.ref_due = trefi + (i * trefi) // max(1, len(mc.ranks))
 
+    # -- Same-bank (REFsb) path --------------------------------------------
+    def _sb_promote(self, now: int) -> None:
+        """Commit due banks to draining: demand to them is deferred so a
+        hot row-hit stream cannot keep the bank open past its REFsb."""
+        heap = self._sb_heap
+        promoted = False
+        while heap and heap[0][0] <= now:
+            __, rank_id, bank_id = heapq.heappop(heap)
+            key = (rank_id, bank_id)
+            self._sb_draining.add(key)
+            self.mc.blocked_banks.add(key)
+            promoted = True
+        if promoted:
+            self.mc.mark_dirty()
+
+    def _sb_account(self, key: tuple[int, int], now: int, due: int) -> None:
+        """Postponement bookkeeping hook (elastic overrides)."""
+
+    def _sb_issue_due(self, now: int) -> bool:
+        """Progress one draining bank: PRE it, wait tRP, then REFsb."""
+        mc = self.mc
+        for key in self._sb_draining:
+            rank_id, bank_id = key
+            rank = mc.ranks[rank_id]
+            if now < rank.busy_until:
+                continue
+            bank = mc.bank(rank_id, bank_id)
+            if bank.open_row is not None:
+                if now >= bank.next_pre:
+                    mc.issue_pre(rank_id, bank_id, now)
+                    return True
+                continue
+            # next_act carries both tRP-after-PRE and the previous REFsb's
+            # busy window; next_refsb is the rank's tREFSB_GAP spacing.
+            if now < bank.next_act or now < rank.next_refsb:
+                continue
+            self._sb_draining.discard(key)
+            mc.blocked_banks.discard(key)
+            mc.issue_refsb(rank_id, bank_id, now)
+            due = self._sb_due[key]
+            self._sb_account(key, now, due)
+            self._sb_due[key] = due + mc.trefi_c
+            heapq.heappush(self._sb_heap, (due + mc.trefi_c, rank_id, bank_id))
+            return True
+        return False
+
+    def _sb_drain_wake(self, now: int, soonest: int) -> int:
+        """Fold each draining bank's next drain-step gate into ``soonest``."""
+        mc = self.mc
+        for key in self._sb_draining:
+            rank_id, bank_id = key
+            rank = mc.ranks[rank_id]
+            bank = mc.bank(rank_id, bank_id)
+            gate = rank.busy_until
+            if bank.open_row is not None:
+                if bank.next_pre > gate:
+                    gate = bank.next_pre
+            else:
+                if bank.next_act > gate:
+                    gate = bank.next_act
+                if rank.next_refsb > gate:
+                    gate = rank.next_refsb
+            if gate < soonest:
+                soonest = gate
+        return soonest
+
+    def _sb_urgent(self, now: int) -> bool:
+        if self._service_preventive(now):
+            return True
+        self._sb_promote(now)
+        return self._sb_issue_due(now)
+
+    def _sb_next_deadline(self, now: int) -> int:
+        soonest = self._sb_drain_wake(now, self._preventive_deadline(now))
+        heap = self._sb_heap
+        if heap and heap[0][0] < soonest:
+            soonest = heap[0][0]
+        return soonest
+
+    # -- All-bank (rank REF) path ------------------------------------------
     def urgent(self, now: int) -> bool:
+        if self._same_bank:
+            return self._sb_urgent(now)
         if self._service_preventive(now):
             return True
         mc = self.mc
@@ -226,6 +335,8 @@ class BaselineRefreshEngine(RefreshEngine):
         return False
 
     def next_deadline(self, now: int) -> int:
+        if self._same_bank:
+            return self._sb_next_deadline(now)
         soonest = self._preventive_deadline(now)
         for rank in self.mc.ranks:
             due = rank.ref_due
@@ -258,6 +369,10 @@ class MemoryController:
         self.twr_c = c(tp.twr)
         self.trtp_c = c(tp.trtp)
         self.tcwl_c = c(tp.tcwl)
+        self.trtw_c = c(tp.trtw) if tp.trtw else 0
+        self.twtr_c = c(tp.twtr) if tp.twtr else 0
+        self.trfc_sb_c = c(tp.trfc_sb)
+        self.trefsb_gap_c = c(tp.trefsb_gap)
         self.hira_gap_c = c(tp.hira_t1 + tp.hira_t2)
 
         geom = config.geometry
@@ -278,8 +393,17 @@ class MemoryController:
         #: Ranks a refresh engine is draining for an imminent REF; demand
         #: to these ranks is deferred so the drain cannot be starved.
         self.blocked_ranks: set[int] = set()
+        #: (rank, bank) pairs a refresh engine is draining for an imminent
+        #: same-bank REFsb; demand to these banks is deferred (siblings of
+        #: the rank keep scheduling — the point of same-bank refresh).
+        self.blocked_banks: set[tuple[int, int]] = set()
         self.bus_next = 0
         self.data_bus_next = 0
+        #: Direction of the burst occupying the data bus until
+        #: ``data_bus_next`` (None before the first burst): a following
+        #: burst in the *other* direction additionally waits out the
+        #: tRTW/tWTR turnaround gap.
+        self._data_bus_last_write: bool | None = None
         self._draining_writes = False
         #: Deferred single commands (e.g. the PRE closing a refresh-refresh
         #: HiRA pair) as a min-heap of (cycle, rank, bank) bus reservations.
@@ -368,9 +492,14 @@ class MemoryController:
 
         KEEP IN LOCKSTEP: this formula is hand-inlined in two hot scans —
         ``RefreshEngine._preventive_deadline`` and ``next_event`` (both
-        marked "act_allowed_at, inlined").  A new ACT gate (e.g. tRTP,
-        DDR5 REFsb) must be added to all three or the event loop's wake
-        times diverge from the issue-time legality checks.
+        marked "act_allowed_at, inlined").  A new ACT gate must be added
+        to all three or the event loop's wake times diverge from the
+        issue-time legality checks.  (tRTP feeds ``bank.next_pre`` and the
+        DDR5 REFsb busy window feeds ``bank.next_act`` directly at issue
+        time, so both are already visible to all three scans; the
+        tRTW/tWTR turnaround is a *column* gate, carried by
+        ``data_bus_free_at`` in the issue path and the queue wake
+        candidates.)
         """
         rank_state = self.ranks[rank]
         faw = rank_state.faw
@@ -407,6 +536,20 @@ class MemoryController:
         interleaving refreshes with scarce demand activations.
         """
         return self.recent_acts(rank, now) / 4.0
+
+    def data_bus_free_at(self, is_write: bool) -> int:
+        """Earliest cycle a burst in the given direction may start.
+
+        The channel data bus frees at ``data_bus_next``; a burst in the
+        opposite direction to the previous one additionally waits out the
+        bus turnaround (tRTW after a read, tWTR after a write).  With
+        ``trtw = twtr = 0`` this is exactly ``data_bus_next``.
+        """
+        free = self.data_bus_next
+        last_write = self._data_bus_last_write
+        if last_write is not None and last_write != is_write:
+            free += self.twtr_c if last_write else self.trtw_c
+        return free
 
     def demand_waiting(self, rank: int, bank_id: int) -> bool:
         """Whether any queued demand request targets the bank.
@@ -529,6 +672,27 @@ class MemoryController:
         if self.auditor is not None:
             self.auditor.on_ref(now, rank_id)
 
+    def issue_refsb(self, rank_id: int, bank_id: int, now: int) -> None:
+        """DDR5-style same-bank refresh: one bank unavailable for tRFC_sb.
+
+        The target bank must already be precharged (tRP elapsed since its
+        PRE, which ``bank.next_act`` carries); its sibling banks keep
+        serving demand — the scheduling advantage of REFsb over the
+        rank-wide REF of :meth:`issue_ref`.
+        """
+        rank = self.ranks[rank_id]
+        bank = self._banks[rank_id][bank_id]
+        bank.open_row = None
+        bank.next_act = max(bank.next_act, now + self.trfc_sb_c)
+        rank.next_refsb = now + self.trefsb_gap_c
+        # A rank-level REF during the REFsb would hit a busy bank.
+        rank.ref_ready = max(rank.ref_ready, now + self.trfc_sb_c)
+        self.bus_next = now + 1
+        self._dirty = True
+        self.stats.refs_sb += 1
+        if self.auditor is not None:
+            self.auditor.on_refsb(now, rank_id, bank_id)
+
     # ------------------------------------------------------------------
     # Request intake
     # ------------------------------------------------------------------
@@ -589,19 +753,24 @@ class MemoryController:
         if not queue:
             return False
         blocked = self.blocked_ranks
+        bblocked = self.blocked_banks
         banks = self._banks
         ranks = self.ranks
         # First pass: FR — oldest ready row hit.  Queues are homogeneous
         # (reads or writes), so the data-bus gate hoists out of the scan:
         # bursts start a fixed tCL (reads) / tCWL (writes) after the column
-        # command, so when the bus is still busy at that offset no request
-        # in this queue can issue a column access.
-        burst_offset = self.tcwl_c if queue is self.write_q else self.tcl_c
-        if now + burst_offset >= self.data_bus_next:
+        # command — plus the tRTW/tWTR turnaround when the bus last carried
+        # the opposite direction — so when the bus is not free at that
+        # offset no request in this queue can issue a column access.
+        is_write_q = queue is self.write_q
+        burst_offset = self.tcwl_c if is_write_q else self.tcl_c
+        if now + burst_offset >= self.data_bus_free_at(is_write_q):
             for idx, req in enumerate(queue):
                 addr = req.addr
                 rank = addr.rank
                 if rank in blocked:
+                    continue
+                if bblocked and (rank, addr.bank) in bblocked:
                     continue
                 bank = banks[rank][addr.bank]
                 if (
@@ -627,6 +796,8 @@ class MemoryController:
                 continue
             seen |= bit
             if rank in blocked or now < ranks[rank].busy_until:
+                continue
+            if bblocked and (rank, bank_id) in bblocked:
                 continue
             bank = banks[rank][bank_id]
             open_row = bank.open_row
@@ -681,6 +852,7 @@ class MemoryController:
             # gate in `_schedule_queue` guarantees the bus is free then).
             burst_end = now + self.tcwl_c + self.tbl_c
             self.data_bus_next = burst_end
+            self._data_bus_last_write = True
             bank.next_pre = max(bank.next_pre, burst_end + self.twr_c)
             req.complete_cycle = burst_end
             self.stats.writes_served += 1
@@ -690,6 +862,7 @@ class MemoryController:
             # the bank may not precharge until tRTP after the command.
             start = now + self.tcl_c
             self.data_bus_next = start + self.tbl_c
+            self._data_bus_last_write = False
             bank.next_pre = max(bank.next_pre, now + self.trtp_c)
             req.complete_cycle = start + self.tbl_c
             self.stats.reads_served += 1
@@ -738,8 +911,9 @@ class MemoryController:
                 n = 8
             if n:
                 # Data-bus gate: a column access can issue no earlier than
-                # tCL/tCWL before the bus frees; wake the controller then.
-                c = self.data_bus_next - (
+                # tCL/tCWL before the bus frees for this queue's direction
+                # (including any tRTW/tWTR turnaround); wake then.
+                c = self.data_bus_free_at(queue is self.write_q) - (
                     self.tcwl_c if queue is self.write_q else self.tcl_c
                 )
                 if c > now:

@@ -6,9 +6,15 @@ REF commands (the 9 × tREFI debit limit).  This engine implements that
 policy so benchmarks can compare HiRA against the strongest scheduling-only
 baseline: REF is deferred while demand requests are pending, but never
 beyond the postponement budget.
+
+With ``refresh_granularity="same_bank"`` the same policy applies per bank:
+each bank's REFsb may be postponed up to eight tREFI intervals while reads
+are queued, tracked by a per-bank debt counter.
 """
 
 from __future__ import annotations
+
+import heapq
 
 from repro.sim.controller import BaselineRefreshEngine, _FAR_FUTURE
 
@@ -29,6 +35,77 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
         #: Ranks that have started a REF sequence (precharge + tRP wait);
         #: once committed, newly arriving reads no longer cancel it.
         self._committed = [False] * len(mc.ranks)
+        if self._same_bank:
+            #: Per-bank postponement debt (same_bank granularity).
+            self._sb_debt = dict.fromkeys(self._sb_due, 0)
+            #: Due-but-postponed banks: key -> forced-promotion cycle (the
+            #: cycle the bank's postponement budget runs out).  Kept out of
+            #: ``_sb_heap`` so the per-cycle promote check never re-heapifies
+            #: deferred entries; the memoized minimum makes the check O(1)
+            #: while demand is queued and nothing has hit its limit.
+            self._sb_deferred: dict[tuple[int, int], int] = {}
+            self._sb_forced_min = _FAR_FUTURE
+
+    # -- Same-bank (REFsb) overrides ---------------------------------------
+    def _sb_promote(self, now: int) -> None:
+        """Promote a due bank only at the postponement limit or when no
+        latency-critical demand is queued (the elastic policy, per bank).
+
+        A promoted bank is committed exactly like a committed rank in the
+        all-bank path: demand to it is deferred until its REFsb issues.
+        """
+        mc = self.mc
+        heap = self._sb_heap
+        trefi = mc.trefi_c
+        deferred = self._sb_deferred
+        # Newly due banks move off the heap into the deferred pool with a
+        # precomputed forced-promotion cycle (debt only changes at issue,
+        # so the budget is fixed for the entry's deferred lifetime).
+        while heap and heap[0][0] <= now:
+            due, rank_id, bank_id = heapq.heappop(heap)
+            key = (rank_id, bank_id)
+            budget = max(0, self.max_postponed - self._sb_debt[key])
+            forced = due + budget * trefi
+            deferred[key] = forced
+            if forced < self._sb_forced_min:
+                self._sb_forced_min = forced
+        if not deferred:
+            return
+        idle = not mc.read_q
+        if not idle and now < self._sb_forced_min:
+            return  # every due bank still has budget and demand is queued
+        promoted = False
+        for key, forced in list(deferred.items()):
+            if idle or forced <= now:
+                del deferred[key]
+                self._sb_draining.add(key)
+                mc.blocked_banks.add(key)
+                promoted = True
+        if promoted:
+            self._sb_forced_min = min(deferred.values(), default=_FAR_FUTURE)
+            mc.mark_dirty()
+
+    def _sb_account(self, key: tuple[int, int], now: int, due: int) -> None:
+        missed = max(0, (now - due) // self.mc.trefi_c)
+        self._sb_debt[key] = max(0, self._sb_debt[key] + missed - 1)
+
+    def _sb_next_deadline(self, now: int) -> int:
+        soonest = self._sb_drain_wake(now, self._preventive_deadline(now))
+        mc = self.mc
+        trefi = mc.trefi_c
+        read_q = bool(mc.read_q)
+        draining = self._sb_draining
+        for key, due in self._sb_due.items():
+            if key in draining:
+                continue
+            if read_q:
+                budget_left = self.max_postponed - self._sb_debt[key]
+                wake = due + max(0, budget_left) * trefi
+            else:
+                wake = due  # idle opportunity: refresh early
+            if wake < soonest:
+                soonest = wake
+        return soonest
 
     def _rank_must_refresh(self, rank_id: int, now: int) -> bool:
         rank = self.mc.ranks[rank_id]
@@ -42,6 +119,8 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
         return not self.mc.read_q
 
     def urgent(self, now: int) -> bool:
+        if self._same_bank:
+            return self._sb_urgent(now)
         if self._service_preventive(now):
             return True
         mc = self.mc
@@ -79,6 +158,8 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
 
     def next_deadline(self, now: int) -> int:
         """Wake at the postponement limit rather than every tREFI."""
+        if self._same_bank:
+            return self._sb_next_deadline(now)
         soonest = _FAR_FUTURE
         for rank_id, rank in enumerate(self.mc.ranks):
             if self._committed[rank_id]:
@@ -99,4 +180,6 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
         return min(soonest, self._preventive_deadline(now))
 
     def postponed_total(self) -> int:
+        if self._same_bank:
+            return sum(self._sb_debt.values())
         return sum(self._debt)

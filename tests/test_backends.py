@@ -27,6 +27,7 @@ from repro.orchestrator import (
 )
 from repro.orchestrator.backends import make_backend
 from repro.orchestrator.backends.protocol import (
+    MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
     point_from_dict,
@@ -125,6 +126,7 @@ class TestProtocol:
                 axis("capacity_gbit", 32.0),
                 axis("channels", 2),
                 axis("para_nrh", 64.0),
+                axis("refresh_granularity", "same_bank"),
             ),
         )
         for point in sweep.expand():
@@ -321,6 +323,87 @@ class TestFailureHandling:
             with pytest.raises(WorkerPoolError, match="planted failure"):
                 server.serve([(0, point)])
         finally:
+            server.close()
+
+
+class TestProtocolRobustness:
+    """Corrupt length-prefixed frames from a worker must tear down that
+    connection (re-queuing any in-flight job) — never hang the
+    ``JobServer`` or fail a sweep that has a healthy worker left."""
+
+    def _sweep_past_evil(self, evil_after_job, max_retries=2):
+        sweep = tiny_sweep()
+        serial = run_sweep(sweep, backend="serial")
+        backend = SocketBackend(port=0, registration_timeout=20.0,
+                                heartbeat_timeout=5.0, max_retries=max_retries)
+        sent = threading.Event()
+
+        def evil_worker():
+            sock = _handshake(backend.port)
+            assert recv_msg(sock).get("type") == "welcome"
+            job = recv_msg(sock)  # take a job...
+            assert job.get("type") == "job"
+            try:
+                evil_after_job(sock)  # ...and answer with a corrupt frame
+            finally:
+                sent.set()
+
+        threading.Thread(target=evil_worker, daemon=True).start()
+        result_box = {}
+
+        def run():
+            result_box["result"] = run_sweep(sweep, backend=backend)
+
+        runner = threading.Thread(target=run, daemon=True)
+        runner.start()
+        assert sent.wait(timeout=15), "evil worker never got a job"
+        healthy = worker_thread(backend.port)
+        runner.join(timeout=60)
+        backend.close()
+        healthy.join(timeout=10)
+        assert not runner.is_alive(), "sweep hung after a corrupt frame"
+        assert dicts(result_box["result"]) == dicts(serial)
+
+    def test_truncated_frame_requeues_job(self):
+        def evil(sock):
+            # Header promises 4 KiB, the body stops after 16 bytes.
+            sock.sendall(struct.pack(">I", 4096) + b"x" * 16)
+            sock.close()
+
+        self._sweep_past_evil(evil)
+
+    def test_garbage_json_frame_requeues_job(self):
+        def evil(sock):
+            body = b"{this is not json"
+            sock.sendall(struct.pack(">I", len(body)) + body)
+            # The socket stays open: the server must tear it down anyway.
+
+        self._sweep_past_evil(evil)
+
+    def test_oversized_frame_requeues_job(self):
+        def evil(sock):
+            # The header alone exceeds the frame cap; no body ever follows,
+            # so a server that tried to read it would block forever.
+            sock.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+        self._sweep_past_evil(evil)
+
+    def test_garbage_hello_never_registers(self):
+        server = JobServer(port=0, registration_timeout=5.0)
+        sock = None
+        try:
+            sock = socket.create_connection(("127.0.0.1", server.port), timeout=5.0)
+            body = b"\xff\xfe not a hello"
+            sock.sendall(struct.pack(">I", len(body)) + body)
+            try:
+                reply = sock.recv(1)  # server drops the connection: EOF
+            except socket.timeout:
+                reply = None
+            assert not reply, "server answered a garbage hello"
+            assert server.workers_seen == 0
+        finally:
+            if sock is not None:
+                sock.close()
             server.close()
 
 

@@ -1,22 +1,30 @@
 """The optimized event kernel is bit-identical to the recorded goldens.
 
 ``tests/goldens/kernel_ab.json`` holds full ``result_to_dict`` dumps
-produced by the *pre-optimization* kernel (PR 2, commit 837d658) across
-baseline/elastic/HiRA/PARA configurations, channel and rank variants.
-The incremental-next-event rewrite (cached core wake times, memoized
-``next_event``, O(1) queue predicates, vectorized trace generation) is a
-pure performance change: every field — cycles, per-core IPCs, controller
-stats — must survive it exactly.
+across baseline/elastic/HiRA/PARA configurations, channel and rank
+variants.  Refactors of the event kernel (cached core wake times,
+memoized ``next_event``, O(1) queue predicates, vectorized trace
+generation) are pure performance changes: every field — cycles, per-core
+IPCs, controller stats — must survive them exactly.
 
 If a future PR changes scheduler *behavior* on purpose, regenerate the
 goldens (run this file with ``REPRO_REGEN_GOLDENS=1``) in the same
 commit and say so in its message; a silent diff here is a regression.
+
+Entries carrying a ``pinned`` field are *never* regenerated: the
+``-zeroturn`` entries permanently hold the PR 4 kernel's results (commit
+cb6b0c8, before tRTW/tWTR bus-turnaround gating and DDR5 same-bank
+refresh existed) and run with ``trtw = twtr = 0`` timing overrides and
+``refresh_granularity="all_bank"`` — proving that zero turnaround plus
+all-bank refresh reproduces the pre-turnaround kernel bit-identically,
+for every recorded engine/channel/rank/PARA configuration.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -31,7 +39,15 @@ GOLDENS = json.loads(GOLDEN_PATH.read_text())
 
 
 def run_entry(entry: dict):
-    config = SystemConfig(**entry["config"])
+    config_data = dict(entry["config"])
+    # Optional partial TimingParams override (e.g. {"trtw": 0, "twtr": 0}),
+    # applied on top of the capacity-derived preset.
+    timing_overrides = config_data.pop("timing", None)
+    config = SystemConfig(**config_data)
+    if timing_overrides:
+        config = config.variant(
+            timing=replace(config.timing, **timing_overrides)
+        )
     profiles = mix_for(entry["mix_id"], cores=config.cores)
     system = System(
         config, profiles, seed=entry["seed"], instr_budget=entry["instr_budget"]
@@ -40,11 +56,11 @@ def run_entry(entry: dict):
 
 
 @pytest.mark.parametrize("name", sorted(GOLDENS))
-def test_kernel_matches_pre_optimization_golden(name):
+def test_kernel_matches_golden(name):
     entry = GOLDENS[name]
     result = result_to_dict(run_entry(entry))
-    if os.environ.get("REPRO_REGEN_GOLDENS") == "1":  # pragma: no cover
-        GOLDENS[name]["result"] = result
+    if os.environ.get("REPRO_REGEN_GOLDENS") == "1" and "pinned" not in entry:
+        GOLDENS[name]["result"] = result  # pragma: no cover
         GOLDEN_PATH.write_text(json.dumps(GOLDENS, indent=1, sort_keys=True))
         return
     golden = entry["result"]
@@ -62,3 +78,39 @@ def test_goldens_cover_every_engine():
     assert any(
         entry["config"].get("ranks_per_channel", 1) > 1 for entry in GOLDENS.values()
     )
+    # Both refresh granularities are pinned, for every REF-owing engine.
+    sb_modes = {
+        entry["config"]["refresh_mode"]
+        for entry in GOLDENS.values()
+        if entry["config"].get("refresh_granularity") == "same_bank"
+    }
+    assert sb_modes >= {"baseline", "elastic", "hira"}
+
+
+def test_every_entry_has_a_pinned_zero_turnaround_twin():
+    """Each live entry is shadowed by a PR 4-pinned zero-turnaround case.
+
+    The twin differs from its sibling only by the ``trtw = twtr = 0``
+    timing override (and an explicit all-bank granularity), so the pair
+    proves the turnaround/REFsb gating is exactly opt-in: disabling it
+    reproduces the pre-turnaround kernel bit for bit.
+    """
+    live = {
+        n
+        for n, e in GOLDENS.items()
+        if not n.endswith("-zeroturn")
+        and e["config"].get("refresh_granularity", "all_bank") == "all_bank"
+    }
+    assert live, "no live golden entries"
+    for name in live:
+        twin = GOLDENS.get(name + "-zeroturn")
+        assert twin is not None, f"{name} has no -zeroturn twin"
+        assert "pinned" in twin, f"{name}-zeroturn must be pinned"
+        assert twin["config"]["timing"] == {"trtw": 0, "twtr": 0}
+        assert twin["config"]["refresh_granularity"] == "all_bank"
+        stripped = {
+            k: v
+            for k, v in twin["config"].items()
+            if k not in ("timing", "refresh_granularity")
+        }
+        assert stripped == GOLDENS[name]["config"]

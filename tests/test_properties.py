@@ -1,5 +1,6 @@
 """Cross-module property-based tests (hypothesis) on core invariants."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.chip.chip_model import DramChip
@@ -104,6 +105,108 @@ def test_hira_outcome_matches_isolation_map(sa_a, sa_b, off_a, off_b):
 
     passed = pair_passes(host, 0, row_a, row_b, t1_ps=3_000, t2_ps=3_000)
     assert passed == chip.isolation.isolated(sa_a, sa_b)
+
+
+@pytest.mark.parametrize("mode", ["baseline", "elastic", "hira"])
+@pytest.mark.parametrize("granularity", ["all_bank", "same_bank"])
+@settings(max_examples=4, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=9_999),
+    read_fraction=st.floats(min_value=0.3, max_value=0.8),
+    mpki=st.floats(min_value=8.0, max_value=40.0),
+    locality=st.floats(min_value=0.2, max_value=0.9),
+)
+def test_turnaround_and_refsb_recomputed_from_audit_log(
+    mode, granularity, seed, read_fraction, mpki, locality
+):
+    """Differential audit: fuzzed mixed read/write traces across every
+    engine × refresh granularity, with every tRTW/tWTR and REFsb
+    constraint recomputed here *independently* of the auditor's own
+    ``violations()`` bookkeeping — a bug in the auditor cannot hide one in
+    the scheduler.  Bounded examples: 2-core, small budgets (1-CPU box).
+    """
+    from repro.sim.audit import attach_auditors
+    from repro.sim.config import SystemConfig
+    from repro.sim.system import System
+    from repro.sim.trace import TraceProfile
+
+    config = SystemConfig(
+        refresh_mode=mode, refresh_granularity=granularity, cores=2
+    )
+    profiles = [
+        TraceProfile(
+            f"fz{seed}-{i}",
+            mpki=mpki,
+            row_locality=locality,
+            read_fraction=read_fraction,
+            working_set_rows=2048,
+        )
+        for i in range(2)
+    ]
+    system = System(config, profiles, seed=seed, instr_budget=2_500)
+    auditors = attach_auditors(system)
+    result = system.run(max_cycles=2_000_000)
+    assert result.finished
+    far_past = -1 << 60
+    for auditor in auditors:
+        records = sorted(auditor.records, key=lambda r: r.cycle)
+        # Data-bus occupancy + turnaround, recomputed from RD/WR records.
+        bursts = sorted(
+            (r.cycle + (auditor.tcwl_c if r.kind == "WR" else auditor.tcl_c), r.kind)
+            for r in records
+            if r.kind in ("RD", "WR")
+        )
+        for (start0, kind0), (start1, kind1) in zip(bursts, bursts[1:]):
+            gap = 0
+            if kind0 != kind1:
+                gap = auditor.trtw_c if kind0 == "RD" else auditor.twtr_c
+            assert start1 >= start0 + auditor.tbl_c + gap, (
+                f"{kind0}@{start0} -> {kind1}@{start1} breaks "
+                f"tBL+{'tRTW' if kind0 == 'RD' else 'tWTR'}"
+            )
+        # REFsb busy windows, target-precharged rule, and rank spacing.
+        open_row: dict[tuple, bool] = {}
+        last_pre: dict[tuple, int] = {}
+        refsb_busy: dict[tuple, int] = {}
+        last_refsb_rank: dict[int, int] = {}
+        for r in records:
+            key = (r.rank, r.bank)
+            if r.kind == "ACT":
+                assert r.cycle >= refsb_busy.get(key, far_past), (
+                    f"ACT@{r.cycle} inside REFsb busy window of {key}"
+                )
+                open_row[key] = True
+            elif r.kind == "PRE":
+                open_row[key] = False
+                last_pre[key] = r.cycle
+            elif r.kind in ("RD", "WR"):
+                assert r.cycle >= refsb_busy.get(key, far_past)
+            elif r.kind == "REFSB":
+                assert granularity == "same_bank"
+                assert not open_row.get(key, False), (
+                    f"REFSB@{r.cycle} to open bank {key}"
+                )
+                assert r.cycle - last_pre.get(key, far_past) >= auditor.trp_c
+                assert r.cycle >= refsb_busy.get(key, far_past)
+                previous = last_refsb_rank.get(r.rank)
+                if previous is not None:
+                    assert r.cycle - previous >= auditor.trefsb_gap_c
+                last_refsb_rank[r.rank] = r.cycle
+                refsb_busy[key] = r.cycle + auditor.trfc_sb_c
+            elif r.kind == "REF":
+                assert granularity == "all_bank"
+                for (rank, bank), busy in refsb_busy.items():
+                    if rank == r.rank:
+                        assert r.cycle >= busy
+                for bank_key in open_row:
+                    if bank_key[0] == r.rank:
+                        open_row[bank_key] = False
+                        last_pre[bank_key] = max(
+                            last_pre.get(bank_key, far_past), r.cycle
+                        )
+        if granularity == "same_bank" and result.cycles > auditor.trefi_c:
+            # The staggered per-bank cadence must actually produce REFsb.
+            assert any(r.kind == "REFSB" for r in records)
 
 
 @settings(max_examples=10, deadline=None)

@@ -60,6 +60,28 @@ ENGINE_CONFIGS = [
     ),
     pytest.param(SystemConfig(refresh_mode="hira", para_nrh=64.0), id="hira-para64"),
     pytest.param(SystemConfig(refresh_mode="none", para_nrh=128.0), id="none-para128"),
+    # DDR5-style same-bank refresh (REFsb): every REF-owing engine must
+    # hold the per-bank tRFC_sb/tREFSB_GAP rules on top of everything else.
+    pytest.param(
+        SystemConfig(refresh_mode="baseline", refresh_granularity="same_bank"),
+        id="baseline-sb",
+    ),
+    pytest.param(
+        SystemConfig(refresh_mode="elastic", refresh_granularity="same_bank"),
+        id="elastic-sb",
+    ),
+    pytest.param(
+        SystemConfig(
+            refresh_mode="hira", refresh_granularity="same_bank", tref_slack_acts=2
+        ),
+        id="hira-sb-2",
+    ),
+    pytest.param(
+        SystemConfig(
+            refresh_mode="hira", refresh_granularity="same_bank", para_nrh=64.0
+        ),
+        id="hira-sb-para64",
+    ),
 ]
 
 
@@ -103,6 +125,16 @@ class TestEnginesHoldInvariants:
         result, auditors = run_audited(config, mix, seed=31)
         assert result.stat_total("writes_served") > 0
         assert any(r.kind == "WR" for a in auditors for r in a.records)
+        assert_clean(auditors)
+
+    @pytest.mark.parametrize("mode", ["baseline", "elastic", "hira"])
+    def test_same_bank_engines_issue_refsb(self, mode):
+        config = SystemConfig(refresh_mode=mode, refresh_granularity="same_bank")
+        result, auditors = run_audited(config, random_mix(19), seed=19)
+        # REFsb replaces the rank-wide REF entirely in same-bank mode.
+        assert result.stat_total("refs_sb") > 0
+        assert result.stat_total("refs") == 0
+        assert any(r.kind == "REFSB" for a in auditors for r in a.records)
         assert_clean(auditors)
 
     @pytest.mark.parametrize("mode", ["baseline", "elastic", "hira"])
@@ -189,6 +221,41 @@ class TestRefreshProgress:
             + result.stat_total("hira_refresh_parallelized")
             > 0
         )
+
+    def test_same_bank_cadence_survives_saturating_demand(self):
+        # Same-bank refresh must keep every bank's tREFI cadence even when
+        # round-robin row misses keep all banks busy: the per-bank drain
+        # (blocked_banks) defers demand to the one bank being refreshed.
+        mix = [
+            TraceProfile(
+                "miss", mpki=45.0, row_locality=0.05, read_fraction=0.9,
+                working_set_rows=16384,
+            )
+        ] * 8
+        for mode, postpone_slack in (("baseline", 1), ("elastic", 9)):
+            config = SystemConfig(
+                refresh_mode=mode, refresh_granularity="same_bank"
+            )
+            system = System(config, mix, seed=4, instr_budget=40_000)
+            auditors = attach_auditors(system)
+            result = system.run(max_cycles=6_000_000)
+            trefi_c = auditors[0].trefi_c
+            banks = config.geometry.banks_per_rank
+            # One REFsb per bank per tREFI; elastic may defer each bank's
+            # REFsb by up to the 8-command postponement budget.
+            expected = result.cycles / trefi_c * banks
+            assert result.stat_total("refs_sb") >= int(expected) - postpone_slack * banks, mode
+            assert_clean(auditors)
+
+    def test_hira_same_bank_meets_deadlines_with_slack(self):
+        config = SystemConfig(
+            refresh_mode="hira", refresh_granularity="same_bank",
+            tref_slack_acts=4,
+        )
+        result, auditors = run_audited(config, random_mix(11), seed=11, instr=30_000)
+        assert result.stat_total("deadline_misses") == 0
+        assert result.stat_total("refs_sb") > 0
+        assert_clean(auditors)
 
     def test_hira_refreshes_at_generated_rate(self):
         config = SystemConfig(refresh_mode="hira", tref_slack_acts=4)
@@ -352,6 +419,79 @@ class TestAuditorMechanics:
         problems = auditor.violations()
         assert any("open banks" in p for p in problems)
 
+    def _bus_auditor(self):
+        config = SystemConfig(refresh_mode="none")
+        system = System(config, random_mix(1), seed=1, instr_budget=2_000)
+        mc = system.controllers[0]
+        return mc, CommandAuditor(mc)
+
+    def test_detects_planted_trtw_violation(self):
+        # A WR burst starting one cycle inside the read→write turnaround
+        # window: no raw overlap, but the bus had no time to change
+        # direction.
+        mc, auditor = self._bus_auditor()
+        bank_cross = mc.config.geometry.banks_per_bankgroup
+        auditor.on_act(1000, 0, 0, 5)
+        auditor.on_act(1000 + auditor.trrd_s_c, 0, bank_cross, 6)
+        rd = 1000 + mc.trcd_c
+        auditor.on_col(rd, 0, 0, is_write=False)
+        rd_end = rd + auditor.tcl_c + auditor.tbl_c
+        wr = rd_end + auditor.trtw_c - 1 - auditor.tcwl_c
+        auditor.on_col(wr, 0, bank_cross, is_write=True)
+        problems = auditor.violations()
+        assert any("tRTW" in p for p in problems)
+        assert not any("data-bus conflict" in p for p in problems)
+
+    def test_wr_burst_at_trtw_boundary_is_legal(self):
+        mc, auditor = self._bus_auditor()
+        bank_cross = mc.config.geometry.banks_per_bankgroup
+        auditor.on_act(1000, 0, 0, 5)
+        auditor.on_act(1000 + auditor.trrd_s_c, 0, bank_cross, 6)
+        rd = 1000 + mc.trcd_c
+        auditor.on_col(rd, 0, 0, is_write=False)
+        rd_end = rd + auditor.tcl_c + auditor.tbl_c
+        auditor.on_col(rd_end + auditor.trtw_c - auditor.tcwl_c, 0, bank_cross,
+                       is_write=True)
+        assert auditor.violations() == []
+
+    def test_detects_planted_twtr_violation(self):
+        mc, auditor = self._bus_auditor()
+        bank_cross = mc.config.geometry.banks_per_bankgroup
+        auditor.on_act(1000, 0, 0, 5)
+        auditor.on_act(1000 + auditor.trrd_s_c, 0, bank_cross, 6)
+        wr = 1000 + mc.trcd_c
+        auditor.on_col(wr, 0, 0, is_write=True)
+        wr_end = wr + auditor.tcwl_c + auditor.tbl_c
+        rd = wr_end + auditor.twtr_c - 1 - auditor.tcl_c
+        auditor.on_col(rd, 0, bank_cross, is_write=False)
+        problems = auditor.violations()
+        assert any("tWTR" in p for p in problems)
+        assert not any("data-bus conflict" in p for p in problems)
+
+    def test_rd_burst_at_twtr_boundary_is_legal(self):
+        mc, auditor = self._bus_auditor()
+        bank_cross = mc.config.geometry.banks_per_bankgroup
+        auditor.on_act(1000, 0, 0, 5)
+        auditor.on_act(1000 + auditor.trrd_s_c, 0, bank_cross, 6)
+        wr = 1000 + mc.trcd_c
+        auditor.on_col(wr, 0, 0, is_write=True)
+        wr_end = wr + auditor.tcwl_c + auditor.tbl_c
+        auditor.on_col(wr_end + auditor.twtr_c - auditor.tcl_c, 0, bank_cross,
+                       is_write=False)
+        assert auditor.violations() == []
+
+    def test_same_direction_bursts_need_no_turnaround(self):
+        # Back-to-back same-direction bursts abut exactly: the turnaround
+        # gap applies only across a direction change.
+        mc, auditor = self._bus_auditor()
+        bank_cross = mc.config.geometry.banks_per_bankgroup
+        auditor.on_act(1000, 0, 0, 5)
+        auditor.on_act(1000 + auditor.trrd_s_c, 0, bank_cross, 6)
+        rd = 1000 + mc.trcd_c
+        auditor.on_col(rd, 0, 0, is_write=False)
+        auditor.on_col(rd + auditor.tbl_c, 0, bank_cross, is_write=False)
+        assert auditor.violations() == []
+
     def test_attaching_auditor_does_not_change_results(self):
         config = SystemConfig(refresh_mode="hira", para_nrh=256.0)
         mix = random_mix(17)
@@ -361,6 +501,98 @@ class TestAuditorMechanics:
         audited = audited_system.run()
         assert bare.cycles == audited.cycles
         assert bare.ipcs == audited.ipcs
+
+
+class TestRefsbAuditorMechanics:
+    """Planted violations and boundaries for DDR5 same-bank refresh."""
+
+    def _auditor(self, granularity="all_bank", mode="none"):
+        config = SystemConfig(refresh_mode=mode, refresh_granularity=granularity)
+        system = System(config, random_mix(1), seed=1, instr_budget=2_000)
+        mc = system.controllers[0]
+        return mc, CommandAuditor(mc)
+
+    def test_detects_refsb_to_open_bank(self):
+        __, auditor = self._auditor()
+        auditor.on_act(1000, 0, 0, 5)
+        auditor.on_refsb(1010, 0, 0)
+        assert any("REFsb to open bank" in p for p in auditor.violations())
+
+    def test_detects_refsb_inside_trp(self):
+        __, auditor = self._auditor()
+        auditor.on_act(1000, 0, 0, 5)
+        pre = 1000 + auditor.tras_c
+        auditor.on_pre(pre, 0, 0)
+        auditor.on_refsb(pre + auditor.trp_c - 1, 0, 0)  # one cycle early
+        assert any(
+            "REFsb" in p and "after PRE" in p for p in auditor.violations()
+        )
+
+    def test_refsb_at_trp_boundary_is_legal(self):
+        __, auditor = self._auditor()
+        auditor.on_act(1000, 0, 0, 5)
+        pre = 1000 + auditor.tras_c
+        auditor.on_pre(pre, 0, 0)
+        auditor.on_refsb(pre + auditor.trp_c, 0, 0)
+        assert auditor.violations() == []
+
+    def test_detects_act_during_refsb(self):
+        __, auditor = self._auditor()
+        auditor.on_refsb(1000, 0, 0)
+        auditor.on_act(1000 + auditor.trfc_sb_c - 1, 0, 0, 5)  # one early
+        assert any("during REFsb" in p for p in auditor.violations())
+
+    def test_act_at_trfc_sb_boundary_is_legal(self):
+        __, auditor = self._auditor()
+        auditor.on_refsb(1000, 0, 0)
+        auditor.on_act(1000 + auditor.trfc_sb_c, 0, 0, 5)
+        assert auditor.violations() == []
+
+    def test_sibling_bank_act_during_refsb_is_legal(self):
+        # The whole point of REFsb: only the refreshed bank is busy.
+        __, auditor = self._auditor()
+        auditor.on_refsb(1000, 0, 0)
+        auditor.on_act(1005, 0, 4, 5)  # other bank group, other bank
+        assert auditor.violations() == []
+
+    def test_detects_trefsb_gap_violation(self):
+        __, auditor = self._auditor()
+        auditor.on_refsb(1000, 0, 0)
+        auditor.on_refsb(1000 + auditor.trefsb_gap_c - 1, 0, 1)  # one early
+        assert any("tREFSB_GAP" in p for p in auditor.violations())
+
+    def test_refsb_at_trefsb_gap_boundary_is_legal(self):
+        __, auditor = self._auditor()
+        auditor.on_refsb(1000, 0, 0)
+        auditor.on_refsb(1000 + auditor.trefsb_gap_c, 0, 1)
+        assert auditor.violations() == []
+
+    def test_detects_ref_during_refsb(self):
+        __, auditor = self._auditor(mode="baseline")
+        auditor.on_refsb(1000, 0, 2)
+        auditor.on_ref(1005, 0)
+        assert any("REFsb in flight" in p for p in auditor.violations())
+
+    def test_detects_per_bank_cadence_gap(self):
+        __, auditor = self._auditor()
+        auditor.on_refsb(0, 0, 3)
+        auditor.on_refsb(10 * auditor.trefi_c, 0, 3)
+        assert any(
+            "refresh deadline violation on bank" in p
+            for p in auditor.violations()
+        )
+
+    def test_detects_starved_bank_in_same_bank_mode(self):
+        # A long same-bank-mode stream with no REFsb at all: every bank of
+        # the rank must be flagged from the stream bounds.
+        __, auditor = self._auditor(granularity="same_bank", mode="baseline")
+        span = 10 * auditor.trefi_c
+        auditor.on_act(0, 0, 0, 1)
+        auditor.on_pre(auditor.tras_c, 0, 0)
+        auditor.on_act(span, 0, 0, 2)
+        problems = auditor.violations()
+        starved = [p for p in problems if "no REFsb issued" in p]
+        assert len(starved) == auditor.banks_per_rank
 
 
 class TestPairingPolicy:
