@@ -1,9 +1,11 @@
 """Command-line entry points for the reproduction.
 
-Six subcommands mirror the repository's main workflows:
+Seven subcommands mirror the repository's main workflows:
 
 - ``characterize`` — run the §4 experiments on a tested module.
 - ``simulate`` — one cycle-level run of a refresh configuration.
+- ``audit`` — run one configuration with command auditors attached and
+  re-verify the stream (optionally against the rule-table oracle).
 - ``sweep`` — an orchestrated parameter-grid sweep (parallel + cached,
   with pluggable execution backends and incremental regeneration).
 - ``worker`` — a sweep-execution worker daemon for ``--backend socket``.
@@ -14,6 +16,7 @@ Usage::
 
     python -m repro.cli characterize --module C0
     python -m repro.cli simulate --capacity 128 --mode hira --slack 2
+    python -m repro.cli audit --mode hira --granularity same_bank --oracle
     python -m repro.cli sweep --modes baseline,hira --capacities 8,32 \
         --mixes 2 --workers 4 --cache-dir .sweep-cache
     python -m repro.cli worker --port 7781 &
@@ -96,6 +99,76 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ],
         title=f"{args.mode} @ {args.capacity:.0f} Gbit, mix {args.mix}",
     ))
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.sim.audit import attach_auditors
+    from repro.sim.config import SystemConfig
+    from repro.sim.oracle import oracle_for_config
+    from repro.sim.system import System
+    from repro.workloads.mixes import mix_for
+
+    config = SystemConfig(
+        capacity_gbit=args.capacity,
+        channels=args.channels,
+        ranks_per_channel=args.ranks,
+        refresh_mode=args.mode,
+        refresh_granularity=args.granularity,
+        tref_slack_acts=args.slack,
+    )
+    system = System(
+        config, mix_for(args.mix), seed=args.seed, instr_budget=args.instructions
+    )
+    auditors = attach_auditors(system)
+    result = system.run()
+    oracle = oracle_for_config(config) if args.oracle else None
+
+    if args.rules_out and oracle is not None:
+        Path(args.rules_out).write_text(
+            json.dumps(oracle.table.to_json(), indent=2) + "\n"
+        )
+        print(f"wrote rule table to {args.rules_out}")
+
+    failed = False
+    rows = []
+    for channel, auditor in enumerate(auditors):
+        auditor_problems = auditor.violations()
+        oracle_problems = (
+            oracle.check_messages(auditor.records) if oracle is not None else None
+        )
+        rows.append([
+            f"channel {channel}",
+            str(len(auditor.records)),
+            str(len(auditor_problems)),
+            "-" if oracle_problems is None else str(len(oracle_problems)),
+        ])
+        for problem in auditor_problems[:10]:
+            print(f"channel {channel} auditor: {problem}")
+        for problem in (oracle_problems or [])[:10]:
+            print(f"channel {channel} oracle: {problem}")
+        if auditor_problems or oracle_problems:
+            failed = True
+        if args.export_log:
+            path = Path(args.export_log)
+            if len(auditors) > 1:
+                path = path.with_name(f"{path.stem}-ch{channel}{path.suffix}")
+            path.write_text(json.dumps(auditor.export_log()) + "\n")
+            print(f"wrote audit log to {path}")
+    print(format_table(
+        ["channel", "commands", "auditor violations", "oracle violations"],
+        rows,
+        title=f"audit: {args.mode}/{args.granularity}, "
+        f"{result.cycles} cycles, finished={result.finished}",
+    ))
+    if failed:
+        print("FAIL: timing violations found")
+        return 1
+    checkers = "auditor + oracle" if oracle is not None else "auditor"
+    print(f"OK: command stream clean under {checkers}")
     return 0
 
 
@@ -333,6 +406,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--instructions", type=int, default=100_000)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "audit",
+        help="re-verify a run's command stream (auditor, optionally oracle)",
+    )
+    p.add_argument("--capacity", type=float, default=8.0)
+    p.add_argument("--channels", type=int, default=1)
+    p.add_argument("--ranks", type=int, default=1)
+    p.add_argument("--mode", choices=("none", "baseline", "elastic", "hira"),
+                   default="hira")
+    p.add_argument("--granularity", choices=("all_bank", "same_bank"),
+                   default="all_bank")
+    p.add_argument("--slack", type=int, default=2)
+    p.add_argument("--mix", type=int, default=0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--instructions", type=int, default=20_000)
+    p.add_argument("--oracle", action="store_true",
+                   help="also replay the stream against the declarative "
+                        "rule-table oracle (second opinion, independent of "
+                        "the auditor's bookkeeping)")
+    p.add_argument("--export-log", default=None, dest="export_log",
+                   help="write each channel's audit log as re-checkable JSON")
+    p.add_argument("--rules-out", default=None, dest="rules_out",
+                   help="with --oracle: write the generated rule table as JSON")
+    p.set_defaults(func=_cmd_audit)
 
     p = sub.add_parser("sweep", help="orchestrated parameter-grid sweep")
     p.add_argument("--name", default="cli-sweep")

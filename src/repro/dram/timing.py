@@ -112,8 +112,8 @@ class TimingParams:
             )
         for name in (
             "tck", "trcd", "tras", "trp", "trfc", "trefi", "trefw", "tfaw",
-            "trrd_s", "trrd_l", "twr", "trtp", "tcwl", "trfc_sb",
-            "trefsb_gap",
+            "trrd_s", "trrd_l", "twr", "trtp", "tcl", "tcwl", "tbl",
+            "trfc_sb", "trefsb_gap", "hira_t1", "hira_t2",
         ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")

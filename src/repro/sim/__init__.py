@@ -13,6 +13,7 @@ from repro.sim.config import SystemConfig
 from repro.sim.controller import BaselineRefreshEngine, MemoryController, NoRefreshEngine
 from repro.sim.core import CoreModel
 from repro.sim.metrics import weighted_speedup
+from repro.sim.oracle import RuleTable, TimingOracle, oracle_for_config
 from repro.sim.request import Request
 from repro.sim.system import SimResult, System
 from repro.sim.trace import TraceProfile, TraceGenerator
@@ -24,10 +25,13 @@ __all__ = [
     "MemoryController",
     "NoRefreshEngine",
     "Request",
+    "RuleTable",
     "SimResult",
     "System",
     "SystemConfig",
+    "TimingOracle",
     "TraceGenerator",
     "TraceProfile",
+    "oracle_for_config",
     "weighted_speedup",
 ]

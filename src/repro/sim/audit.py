@@ -15,6 +15,7 @@ parallelization must never break:
 - **tFAW** — at most four ACTs per rank in any tFAW window (HiRA's two
   ACTs both count, §5.2).
 - **tRP / tRAS** — ACT after PRE, PRE after ACT, outside HiRA internals.
+- **tRCD** — no column command until tRCD after the row's ACT.
 - **tWR** — write recovery: no PRE until tWR after a write burst lands.
 - **tRTP** — read-to-precharge: no PRE until tRTP after a RD command.
 - **Data bus** — RD/WR data bursts (tBL long, starting tCL/tCWL after
@@ -86,6 +87,7 @@ class CommandAuditor:
         self.mc = mc
         mc.auditor = self
         self.trc_c = mc.trc_c
+        self.trcd_c = mc.trcd_c
         self.trp_c = mc.trp_c
         self.tras_c = mc.tras_c
         self.trrd_s_c = mc.trrd_s_c
@@ -150,6 +152,55 @@ class CommandAuditor:
         self.records.append(CommandRecord(eff, "ACT", rank, bank, target_row, "hira2"))
         if close is not None:
             self.records.append(CommandRecord(close, "PRE", rank, bank, tag="close"))
+
+    # ------------------------------------------------------------------
+    # Interchange
+    # ------------------------------------------------------------------
+    def export_log(self) -> dict:
+        """The recorded stream plus everything needed to re-verify it.
+
+        The payload is plain JSON: the cycle-domain timing parameters,
+        the geometry, and the records.  ``repro.sim.oracle.table_for_log``
+        rebuilds a rule table from ``timing_cycles``/``geometry`` alone,
+        so an exported log is re-checkable anywhere — no simulator, no
+        ``TimingParams`` — which makes it the interchange format between
+        runs, CI jobs, and external checkers.
+        """
+        return {
+            "version": 1,
+            "refresh_mode": self.refresh_mode,
+            "refresh_granularity": self.refresh_granularity,
+            "geometry": {
+                "banks_per_bankgroup": self.banks_per_bankgroup,
+                "banks_per_rank": self.banks_per_rank,
+                "n_ranks": self.n_ranks,
+            },
+            "timing_cycles": {
+                "trcd": self.trcd_c,
+                "tras": self.tras_c,
+                "trp": self.trp_c,
+                "trc": self.trc_c,
+                "trfc": self.trfc_c,
+                "trefi": self.trefi_c,
+                "tfaw": self.tfaw_c,
+                "trrd_s": self.trrd_s_c,
+                "trrd_l": self.trrd_l_c,
+                "twr": self.twr_c,
+                "trtp": self.trtp_c,
+                "tcl": self.tcl_c,
+                "tcwl": self.tcwl_c,
+                "tbl": self.tbl_c,
+                "trtw": self.trtw_c,
+                "twtr": self.twtr_c,
+                "trfc_sb": self.trfc_sb_c,
+                "trefsb_gap": self.trefsb_gap_c,
+                "hira_gap": self.hira_gap_c,
+            },
+            "records": [
+                [r.cycle, r.kind, r.rank, r.bank, r.row, r.tag]
+                for r in self.records
+            ],
+        }
 
     # ------------------------------------------------------------------
     # Invariant replay
@@ -245,24 +296,32 @@ class CommandAuditor:
                 track.last_act = rec.cycle
                 track.open_row = rec.row if rec.row is not None else -1
                 group_acts[group_of(rec)] = rec.cycle
-            elif rec.kind == "WR":
+            elif rec.kind in ("RD", "WR"):
                 track = bank_of(rec)
+                if rec.cycle < ref_busy_until.get(rec.rank, -1):
+                    problems.append(
+                        f"@{rec.cycle}: {rec.kind} to rank {rec.rank} during "
+                        f"REF (busy until {ref_busy_until[rec.rank]})"
+                    )
                 if rec.cycle < track.refsb_busy_until:
                     problems.append(
-                        f"@{rec.cycle}: WR to bank ({rec.rank},{rec.bank}) "
-                        f"during REFsb (busy until {track.refsb_busy_until})"
+                        f"@{rec.cycle}: {rec.kind} to bank "
+                        f"({rec.rank},{rec.bank}) during REFsb "
+                        f"(busy until {track.refsb_busy_until})"
                     )
-                track.wr_done = rec.cycle + self.tcwl_c + self.tbl_c
-                bus_bursts.append((rec.cycle + self.tcwl_c, rec))
-            elif rec.kind == "RD":
-                track = bank_of(rec)
-                if rec.cycle < track.refsb_busy_until:
+                if rec.cycle - track.last_act < self.trcd_c:
                     problems.append(
-                        f"@{rec.cycle}: RD to bank ({rec.rank},{rec.bank}) "
-                        f"during REFsb (busy until {track.refsb_busy_until})"
+                        f"@{rec.cycle}: tRCD violation on bank "
+                        f"({rec.rank},{rec.bank}): {rec.kind} "
+                        f"{rec.cycle - track.last_act} < {self.trcd_c} "
+                        f"cycles after ACT"
                     )
-                track.last_rd = rec.cycle
-                bus_bursts.append((rec.cycle + self.tcl_c, rec))
+                if rec.kind == "WR":
+                    track.wr_done = rec.cycle + self.tcwl_c + self.tbl_c
+                    bus_bursts.append((rec.cycle + self.tcwl_c, rec))
+                else:
+                    track.last_rd = rec.cycle
+                    bus_bursts.append((rec.cycle + self.tcl_c, rec))
             elif rec.kind == "PRE":
                 track = bank_of(rec)
                 if rec.tag != "hira-pre" and rec.cycle - track.last_act < self.tras_c:
@@ -487,6 +546,14 @@ class CommandAuditor:
             raise AssertionError(
                 f"{len(problems)} timing violations:\n" + "\n".join(problems[:20])
             )
+
+
+def records_from_log(payload: dict) -> list[CommandRecord]:
+    """Rebuild :class:`CommandRecord` objects from an exported log."""
+    return [
+        CommandRecord(cycle, kind, rank, bank, row, tag)
+        for cycle, kind, rank, bank, row, tag in payload["records"]
+    ]
 
 
 def attach_auditors(system) -> list[CommandAuditor]:

@@ -663,6 +663,9 @@ class MemoryController:
         """Rank-level REF: the whole rank is unavailable for tRFC."""
         rank = self.ranks[rank_id]
         rank.busy_until = now + self.trfc_c
+        # A same-bank refresh inside the rank-wide busy window would hit
+        # a rank whose refresh control is already occupied.
+        rank.next_refsb = max(rank.next_refsb, now + self.trfc_c)
         for bank in self._banks[rank_id]:
             bank.open_row = None
             bank.next_act = max(bank.next_act, now + self.trfc_c)

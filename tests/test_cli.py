@@ -28,6 +28,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--backend", "mainframe"])
 
+    def test_audit_args(self):
+        args = build_parser().parse_args([
+            "audit", "--mode", "baseline", "--granularity", "same_bank",
+            "--oracle", "--export-log", "log.json", "--rules-out", "rules.json",
+        ])
+        assert args.mode == "baseline" and args.granularity == "same_bank"
+        assert args.oracle and args.export_log == "log.json"
+        assert args.rules_out == "rules.json"
+
     def test_worker_args(self):
         args = build_parser().parse_args([
             "worker", "--port", "7000", "--max-sessions", "1",
@@ -50,6 +59,29 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "weighted speedup" in out
+
+    def test_audit_command_with_oracle(self, capsys, tmp_path):
+        import json
+
+        log = tmp_path / "audit.json"
+        rules = tmp_path / "rules.json"
+        assert main([
+            "audit", "--mode", "hira", "--granularity", "same_bank",
+            "--instructions", "3000", "--oracle",
+            "--export-log", str(log), "--rules-out", str(rules),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "OK: command stream clean under auditor + oracle" in out
+        payload = json.loads(log.read_text())
+        assert payload["records"]
+        from repro.sim.audit import records_from_log
+        from repro.sim.oracle import RuleTable, TimingOracle, table_for_log
+
+        assert TimingOracle(table_for_log(payload)).check(
+            records_from_log(payload)
+        ) == []
+        table = RuleTable.from_json(json.loads(rules.read_text()))
+        assert table.pair_rules
 
     def test_characterize_unknown_module(self, capsys):
         assert main(["characterize", "--module", "ZZ"]) == 2

@@ -37,6 +37,14 @@ class TestPreset:
         with pytest.raises(ValueError):
             TimingParams(trcd=0)
 
+    @pytest.mark.parametrize("name", ["tcl", "tbl", "hira_t1", "hira_t2"])
+    def test_data_path_and_hira_fields_must_be_positive(self, name):
+        # tbl=0 would silently make every data-bus reservation zero-length
+        # (disabling tRTW/tWTR gating); zero CAS latency or HiRA phase
+        # times are equally nonsensical.
+        with pytest.raises(ValueError, match=name):
+            TimingParams(**{name: 0})
+
     def test_to_cycles_rounds_up(self):
         tp = DDR4_2400
         assert tp.to_cycles(tp.tck) == 1

@@ -120,13 +120,17 @@ def test_turnaround_and_refsb_recomputed_from_audit_log(
     mode, granularity, seed, read_fraction, mpki, locality
 ):
     """Differential audit: fuzzed mixed read/write traces across every
-    engine × refresh granularity, with every tRTW/tWTR and REFsb
-    constraint recomputed here *independently* of the auditor's own
-    ``violations()`` bookkeeping — a bug in the auditor cannot hide one in
-    the scheduler.  Bounded examples: 2-core, small budgets (1-CPU box).
+    engine × refresh granularity, checked three ways — the auditor's
+    ``violations()``, the declarative rule-table oracle, and the
+    tRTW/tWTR/REFsb constraints recomputed inline below.  Any
+    two-out-of-three disagreement fails: a bug shared by the controller
+    and auditor (one codebase) cannot hide from the oracle, and a bug in
+    the auditor cannot hide one in the scheduler.  Bounded examples:
+    2-core, small budgets (1-CPU box).
     """
     from repro.sim.audit import attach_auditors
     from repro.sim.config import SystemConfig
+    from repro.sim.oracle import oracle_for_config
     from repro.sim.system import System
     from repro.sim.trace import TraceProfile
 
@@ -148,7 +152,10 @@ def test_turnaround_and_refsb_recomputed_from_audit_log(
     result = system.run(max_cycles=2_000_000)
     assert result.finished
     far_past = -1 << 60
+    oracle = oracle_for_config(config)
     for auditor in auditors:
+        assert auditor.violations() == []
+        assert oracle.check_messages(auditor.records) == []
         records = sorted(auditor.records, key=lambda r: r.cycle)
         # Data-bus occupancy + turnaround, recomputed from RD/WR records.
         bursts = sorted(

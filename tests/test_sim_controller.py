@@ -143,6 +143,16 @@ class TestBaselineRefresh:
         first_act = events[0]
         assert first_act >= mc.trefi_c + mc.trfc_c
 
+    def test_ref_advances_same_bank_refresh_gate(self):
+        # The REF/REFsb interlock: a rank-wide REF occupies the rank's
+        # refresh control, so the same-bank refresh gate must move past
+        # the tRFC busy window — not just every bank's next_act.
+        mc = make_mc(mode="baseline")
+        rank = mc.ranks[0]
+        mc.issue_ref(0, 1_000)
+        assert rank.busy_until == 1_000 + mc.trfc_c
+        assert rank.next_refsb >= 1_000 + mc.trfc_c
+
     def test_ref_precharges_open_banks_first(self):
         mc = make_mc(mode="baseline")
         mc.enqueue(req(row=5))

@@ -307,6 +307,32 @@ class TestAuditorMechanics:
         auditor.on_act(1000 + auditor.trrd_s_c, 0, bank_cross, 6)
         assert auditor.violations() == []
 
+    def test_detects_planted_trcd_violation(self):
+        config = SystemConfig(refresh_mode="none")
+        system = System(config, random_mix(1), seed=1, instr_budget=2_000)
+        auditor = CommandAuditor(system.controllers[0])
+        auditor.on_act(1000, 0, 0, 5)
+        auditor.on_col(1000 + auditor.trcd_c - 1, 0, 0, is_write=False)
+        assert any("tRCD" in p for p in auditor.violations())
+
+    def test_col_at_trcd_boundary_is_legal(self):
+        config = SystemConfig(refresh_mode="none")
+        system = System(config, random_mix(1), seed=1, instr_budget=2_000)
+        auditor = CommandAuditor(system.controllers[0])
+        auditor.on_act(1000, 0, 0, 5)
+        auditor.on_col(1000 + auditor.trcd_c, 0, 0, is_write=False)
+        assert auditor.violations() == []
+
+    def test_detects_read_during_ref(self):
+        config = SystemConfig(refresh_mode="baseline")
+        system = System(config, random_mix(1), seed=1, instr_budget=2_000)
+        auditor = CommandAuditor(system.controllers[0])
+        auditor.on_ref(1000, 0)
+        auditor.on_col(1005, 0, 0, is_write=False)
+        assert any(
+            "RD to rank 0 during REF" in p for p in auditor.violations()
+        )
+
     def test_detects_planted_twr_violation(self):
         config = SystemConfig(refresh_mode="none")
         system = System(config, random_mix(1), seed=1, instr_budget=2_000)
@@ -565,6 +591,22 @@ class TestRefsbAuditorMechanics:
         __, auditor = self._auditor()
         auditor.on_refsb(1000, 0, 0)
         auditor.on_refsb(1000 + auditor.trefsb_gap_c, 0, 1)
+        assert auditor.violations() == []
+
+    def test_detects_refsb_during_ref(self):
+        # The interlock's other direction: a same-bank refresh inside a
+        # rank-wide tRFC busy window.
+        __, auditor = self._auditor(mode="baseline")
+        auditor.on_ref(1000, 0)
+        auditor.on_refsb(1000 + auditor.trfc_c - 1, 0, 0)  # one cycle early
+        assert any(
+            "REFsb to rank 0 during REF" in p for p in auditor.violations()
+        )
+
+    def test_refsb_at_trfc_boundary_is_legal(self):
+        __, auditor = self._auditor()
+        auditor.on_ref(1000, 0)
+        auditor.on_refsb(1000 + auditor.trfc_c, 0, 0)
         assert auditor.violations() == []
 
     def test_detects_ref_during_refsb(self):
