@@ -1,6 +1,6 @@
 """Command-line entry points for the reproduction.
 
-Seven subcommands mirror the repository's main workflows:
+Eight subcommands mirror the repository's main workflows:
 
 - ``characterize`` — run the §4 experiments on a tested module.
 - ``simulate`` — one cycle-level run of a refresh configuration.
@@ -11,6 +11,9 @@ Seven subcommands mirror the repository's main workflows:
 - ``worker`` — a sweep-execution worker daemon for ``--backend socket``.
 - ``security`` — print PARA's (revisited) configuration for a threshold.
 - ``perf`` — measure kernel throughput and write ``BENCH_kernel.json``.
+- ``lint`` — AST-based invariant linter (dirty-flag discipline, timing
+  enforcement coverage, determinism, ``__slots__``, protocol
+  exhaustiveness); exit 0 clean / 1 findings / 2 usage error.
 
 Usage::
 
@@ -23,6 +26,7 @@ Usage::
     python -m repro.cli sweep --backend socket --port 7781 --incremental
     python -m repro.cli security --nrh 128 --slack 4
     python -m repro.cli perf --out BENCH_kernel.json
+    python -m repro.cli lint --json
 """
 
 from __future__ import annotations
@@ -378,6 +382,45 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.lint import CHECKERS, LintUsageError, lint_tree
+
+    if args.list_rules:
+        for name in CHECKERS:
+            print(f"{name}: {CHECKERS[name].DESCRIPTION}")
+        return 0
+    rules = None
+    if args.rules:
+        rules = [token.strip() for token in args.rules.split(",") if token.strip()]
+    baseline: object = "auto"
+    if args.baseline is not None:
+        baseline = Path(args.baseline) if args.baseline else None
+    try:
+        result = lint_tree(
+            root=Path(args.root) if args.root else None,
+            rules=rules,
+            baseline=baseline,
+        )
+    except LintUsageError as exc:
+        print(f"repro lint: {exc}")
+        return 2
+    if args.json:
+        print(_json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        status = "clean" if result.clean else f"{len(result.findings)} finding(s)"
+        print(
+            f"repro lint: {status} — {result.files} files, "
+            f"{len(result.rules)} rules, {result.suppressed} suppressed, "
+            f"{result.baselined} baselined"
+        )
+    return 0 if result.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -499,6 +542,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output JSON path ('' disables writing); floors are "
                         "checked by tools/check_kernel_perf.py")
     p.set_defaults(func=_cmd_perf)
+
+    p = sub.add_parser(
+        "lint",
+        help="AST-based invariant linter for the simulator sources",
+    )
+    p.add_argument("--root", default=None,
+                   help="tree to lint (default: the installed src/repro)")
+    p.add_argument("--rules", default=None,
+                   help="comma list of rules to run (default: all)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline JSON path ('' disables; default: the "
+                        "committed src/repro/lint/baseline.json when "
+                        "linting the default root)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report (version 1)")
+    p.add_argument("--list-rules", action="store_true", dest="list_rules",
+                   help="print the rule catalog and exit")
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -170,6 +170,11 @@ class HiraRefreshEngine(RefreshEngine):
         """Recompute a bank's membership in the active set (and its cached
         raw deadline)."""
         self._struct_dirty = True
+        # Every caller pops a pending refresh first, which changes the
+        # deadline structure feeding next_event; marking here (the shared
+        # pop chokepoint) keeps the memo contract local instead of relying
+        # on each caller's subsequent command issue to set the flag.
+        self.mc.mark_dirty()
         key = (rank, bank)
         deadline = self._raw_deadline(key)
         if deadline != _FAR_FUTURE:
@@ -286,12 +291,15 @@ class HiraRefreshEngine(RefreshEngine):
                     self._bank_deadline[key] = self._raw_deadline(key)
                 else:
                     spilled.append((rank, bank_id, row, deadline))
-            if len(spilled) != len(self._preventive):
-                # Re-admitted entries regain deadline-driven scheduling:
-                # the memoized next_event must see the new deadlines.
-                self._struct_dirty = True
-                self.mc.mark_dirty()
+            # Re-admitted entries regain deadline-driven scheduling: the
+            # memoized next_event must see the new deadlines.  Marking
+            # unconditionally (even when every FIFO was still full and
+            # ``spilled`` is identical) only costs a recompute of the same
+            # value on this already-rare spill path, and keeps the
+            # mutation and its mark on one branch.
             self._preventive = spilled
+            self._struct_dirty = True
+            self.mc.mark_dirty()
         if self._service_preventive(now):  # PR-FIFO overflow path
             return True
         self._advance_generation(now)

@@ -1,0 +1,245 @@
+"""Rule ``determinism``: simulation logic must be bit-reproducible.
+
+The distributed sweep backend (PR 4) promises that every backend —
+serial, local pool, socket workers on other hosts — produces
+bit-identical results, and the result cache keys on content hashes that
+assume it.  That guarantee dies quietly if simulation logic ever consults
+a wall clock, an unseeded RNG, process-dependent identity (``id()``,
+``hash()`` under ``PYTHONHASHSEED``), or iterates a ``set`` whose order
+feeds scheduling decisions.
+
+Scope (:data:`SCOPE_DIRS` + :data:`SCOPE_FILES`): the simulator proper
+plus the orchestrator modules whose *output* must be deterministic.
+Deliberately out of scope, because wall-clock use there is legitimate
+telemetry/timeouts and never feeds results: ``perf.py``,
+``orchestrator/runner.py`` (elapsed-seconds telemetry; grid assembly is
+index-keyed), ``orchestrator/backends/server.py`` and ``worker.py``
+(heartbeat/timeout plumbing).
+
+The set-iteration sub-rule allows :data:`INT_KEYED_SETS`: sets keyed by
+ints/int-tuples iterate in a reproducible order on CPython because
+``PYTHONHASHSEED`` only perturbs ``str``/``bytes`` hashing — and each
+allowlisted consumer is order-insensitive anyway (min-scans, or
+mutate-and-return-immediately loops).  Iterating any *other* set (or a
+future string-keyed one) must go through ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import Finding, LintTree
+
+NAME = "determinism"
+DESCRIPTION = (
+    "no wall-clock reads, unseeded RNGs, id()/hash() ordering, or raw set "
+    "iteration in simulation logic"
+)
+
+SCOPE_DIRS = ("sim/", "core/", "dram/", "chip/", "rowhammer/", "workloads/")
+SCOPE_FILES = (
+    "orchestrator/hashing.py",
+    "orchestrator/sweep.py",
+    "orchestrator/execute.py",
+    "orchestrator/backends/protocol.py",
+)
+
+WALLCLOCK_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "thread_time",
+    }
+)
+DATETIME_CTORS = frozenset({"now", "today", "utcnow"})
+FORBIDDEN_MODULES = {
+    "random": "use a seeded numpy Generator (np.random.default_rng(seed))",
+    "uuid": "uuids are host/time-derived",
+    "secrets": "cryptographic randomness is never reproducible",
+}
+#: ``np.random.X`` attributes that are fine (explicitly seeded machinery).
+NP_RANDOM_OK = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "Philox", "PCG64", "MT19937",
+     "BitGenerator"}
+)
+
+#: Sets safe to iterate raw: int/int-tuple keyed (PYTHONHASHSEED only
+#: perturbs str/bytes on CPython) *and* consumed order-insensitively.
+INT_KEYED_SETS = frozenset(
+    {"blocked_ranks", "blocked_banks", "_sb_draining", "_sb_blocked", "_active"}
+)
+
+
+def _in_scope(rel: str) -> bool:
+    return rel in SCOPE_FILES or any(rel.startswith(d) for d in SCOPE_DIRS)
+
+
+def _dotted(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"] (best effort)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _set_attrs(module: ast.Module) -> set[str]:
+    """Attribute names assigned a set value anywhere in the module."""
+    attrs: set[str] = set()
+    for node in ast.walk(module):
+        value = None
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign) and node.target is not None:
+            targets = [node.target]
+            ann = node.annotation
+            ann_parts = _dotted(ann.value if isinstance(ann, ast.Subscript) else ann)
+            if ann_parts and ann_parts[-1] in ("set", "Set", "frozenset"):
+                for target in targets:
+                    if isinstance(target, ast.Attribute):
+                        attrs.add(target.attr)
+            value = node.value
+        else:
+            continue
+        is_set = isinstance(value, (ast.Set, ast.SetComp)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("set", "frozenset")
+        )
+        if not is_set:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                attrs.add(target.attr)
+    return attrs
+
+
+def _check_file(src) -> list[Finding]:
+    findings: list[Finding] = []
+    module = src.tree
+
+    def add(node, symbol, message):
+        findings.append(
+            Finding(
+                rule=NAME,
+                path=src.path,
+                line=node.lineno,
+                symbol=symbol,
+                message=message,
+            )
+        )
+
+    # Track local aliases of the time/datetime/os/numpy modules.
+    aliases = {"time": "time", "datetime": "datetime", "os": "os"}
+    for node in ast.walk(module):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in FORBIDDEN_MODULES:
+                    add(
+                        node,
+                        root,
+                        f"import of '{root}' in simulation logic: "
+                        f"{FORBIDDEN_MODULES[root]}",
+                    )
+                if root in ("time", "datetime", "os"):
+                    aliases[alias.asname or root] = root
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root in FORBIDDEN_MODULES:
+                add(
+                    node,
+                    root,
+                    f"import from '{root}' in simulation logic: "
+                    f"{FORBIDDEN_MODULES[root]}",
+                )
+
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        parts = _dotted(func)
+        canon = [aliases.get(parts[0], parts[0])] + parts[1:] if parts else []
+        if (
+            len(canon) >= 2
+            and canon[0] == "time"
+            and canon[-1] in WALLCLOCK_TIME_ATTRS
+        ):
+            add(
+                node,
+                ".".join(parts),
+                "wall-clock read in simulation logic; results must not "
+                "depend on real time",
+            )
+        elif canon and canon[0] == "datetime" and canon[-1] in DATETIME_CTORS:
+            add(node, ".".join(parts), "wall-clock date read in simulation logic")
+        elif canon[-2:] == ["os", "urandom"] or canon == ["os", "urandom"]:
+            add(node, "os.urandom", "os.urandom is unseedable randomness")
+        elif isinstance(func, ast.Name) and func.id in ("id", "hash") and node.args:
+            add(
+                node,
+                func.id,
+                f"builtin {func.id}() is process-dependent "
+                "(PYTHONHASHSEED / allocator addresses); never let it feed "
+                "ordering or results",
+            )
+        elif len(canon) >= 2 and canon[-2] == "random" and canon[0] in (
+            "np",
+            "numpy",
+        ):
+            attr = canon[-1]
+            if attr not in NP_RANDOM_OK:
+                add(
+                    node,
+                    ".".join(parts),
+                    "legacy global numpy RNG; use an explicitly seeded "
+                    "np.random.default_rng(seed)",
+                )
+            elif attr == "default_rng" and not node.args and not node.keywords:
+                add(
+                    node,
+                    ".".join(parts),
+                    "default_rng() without a seed is entropy-seeded; pass "
+                    "an explicit seed",
+                )
+
+    set_attrs = _set_attrs(module) - INT_KEYED_SETS
+    iter_exprs = [
+        node.iter
+        for node in ast.walk(module)
+        if isinstance(node, (ast.For, ast.comprehension))
+    ]
+    for iter_expr in iter_exprs:
+        if isinstance(iter_expr, ast.Attribute) and iter_expr.attr in set_attrs:
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=src.path,
+                    line=iter_expr.lineno,
+                    symbol=iter_expr.attr,
+                    message=(
+                        f"iteration over set attribute '{iter_expr.attr}': "
+                        "set order is hash-dependent for str keys and easy "
+                        "to destabilize — wrap in sorted(...) or, if the "
+                        "keys are ints/int-tuples and the consumer is "
+                        "order-insensitive, add it to INT_KEYED_SETS"
+                    ),
+                )
+            )
+    return findings
+
+
+def check(tree: LintTree) -> list[Finding]:
+    findings: list[Finding] = []
+    for src in tree:
+        if _in_scope(src.path):
+            findings.extend(_check_file(src))
+    return findings

@@ -1,0 +1,169 @@
+"""Rule ``protocol-dispatch``: every wire message type has both endpoints.
+
+``orchestrator/backends/protocol.py`` declares the socket backend's
+message registry (:data:`MESSAGE_TYPES`: type -> direction).  For each
+type, the *sending* side must actually build a ``{"type": X, ...}`` dict
+literal and the *receiving* side must dispatch on the literal somewhere
+in a comparison (``== "X"``, ``!= "X"``, ``in ("X", ...)``).  A message
+added to the protocol without both endpoints is exactly the kind of gap
+that survives happy-path tests: the worker's missing ``welcome`` check
+(fixed alongside this rule) meant any garbage registration reply started
+the job loop.
+
+The check is syntactic on purpose: dict literals and string comparisons
+are how both endpoints are written today, and keeping the rule dumb means
+a refactor to something cleverer (a dispatch table) must update the lint
+— a feature, since the lint then re-verifies exhaustiveness of the new
+shape.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import Finding, LintTree
+
+NAME = "protocol-dispatch"
+DESCRIPTION = (
+    "every MESSAGE_TYPES entry must be sent (dict literal) and dispatched "
+    "on (string comparison) by the correct endpoints"
+)
+
+PROTOCOL_FILE = "orchestrator/backends/protocol.py"
+SERVER_FILE = "orchestrator/backends/server.py"
+WORKER_FILE = "orchestrator/backends/worker.py"
+DIRECTIONS = ("worker->server", "server->worker")
+
+
+def _message_types(tree: LintTree):
+    src = tree.get(PROTOCOL_FILE)
+    if src is None:
+        return None, None
+    for node in ast.walk(src.tree):
+        targets = []
+        value = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "MESSAGE_TYPES" for t in targets
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            return None, node.lineno
+        registry = {}
+        for key, val in zip(value.keys, value.values):
+            if isinstance(key, ast.Constant) and isinstance(val, ast.Constant):
+                registry[str(key.value)] = (str(val.value), key.lineno)
+        return registry, node.lineno
+    return None, 1
+
+
+def _compared_literals(src) -> set[str]:
+    """String constants used in comparisons (dispatch arms)."""
+    literals: set[str] = set()
+    if src is None:
+        return literals
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                literals.add(sub.value)
+    return literals
+
+
+def _sent_types(src) -> set[str]:
+    """Values of ``"type"`` keys in dict literals (messages built)."""
+    types: set[str] = set()
+    if src is None:
+        return types
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "type"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                types.add(value.value)
+    return types
+
+
+def check(tree: LintTree) -> list[Finding]:
+    registry, lineno = _message_types(tree)
+    if registry is None and lineno is None:
+        return []  # tree without the protocol module: nothing to check
+    if registry is None:
+        return [
+            Finding(
+                rule=NAME,
+                path=PROTOCOL_FILE,
+                line=lineno or 1,
+                symbol="MESSAGE_TYPES",
+                message=(
+                    "MESSAGE_TYPES must be a literal dict of "
+                    "{type: direction} so the linter (and readers) can "
+                    "enumerate the protocol"
+                ),
+            )
+        ]
+    server, worker = tree.get(SERVER_FILE), tree.get(WORKER_FILE)
+    endpoints = {
+        "worker->server": (worker, WORKER_FILE, server, SERVER_FILE),
+        "server->worker": (server, SERVER_FILE, worker, WORKER_FILE),
+    }
+    sent_cache = {SERVER_FILE: _sent_types(server), WORKER_FILE: _sent_types(worker)}
+    recv_cache = {
+        SERVER_FILE: _compared_literals(server),
+        WORKER_FILE: _compared_literals(worker),
+    }
+    findings: list[Finding] = []
+    for msg_type, (direction, line) in sorted(registry.items()):
+        if direction not in DIRECTIONS:
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=PROTOCOL_FILE,
+                    line=line,
+                    symbol=msg_type,
+                    message=(
+                        f"unknown direction {direction!r} for message "
+                        f"'{msg_type}' (expected one of {DIRECTIONS})"
+                    ),
+                )
+            )
+            continue
+        sender, sender_path, receiver, receiver_path = endpoints[direction]
+        if sender is not None and msg_type not in sent_cache[sender_path]:
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=sender_path,
+                    line=1,
+                    symbol=msg_type,
+                    message=(
+                        f"message '{msg_type}' ({direction}) is never built "
+                        f"in {sender_path} — no "
+                        f'{{"type": "{msg_type}", ...}} dict literal'
+                    ),
+                )
+            )
+        if receiver is not None and msg_type not in recv_cache[receiver_path]:
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=receiver_path,
+                    line=1,
+                    symbol=msg_type,
+                    message=(
+                        f"message '{msg_type}' ({direction}) has no dispatch "
+                        f"arm in {receiver_path} — an unhandled type is "
+                        "silently dropped (or worse, misread) at runtime"
+                    ),
+                )
+            )
+    return findings

@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import threading
 from dataclasses import asdict, fields
 
 from repro.dram.geometry import Geometry
@@ -43,6 +44,23 @@ from repro.sim.trace import TraceProfile
 
 #: Protocol revision: bump on any incompatible message/serialization change.
 PROTOCOL_VERSION = 1
+
+#: Canonical message registry: type -> direction.  This is the machine-
+#: readable twin of the docstring table above, and the source of truth the
+#: ``protocol-dispatch`` lint rule checks server.py/worker.py against: the
+#: receiving side must dispatch on every inbound type and the sending side
+#: must emit every outbound one.  Add a message here *first*; the linter
+#: then fails until both endpoints actually handle it.
+MESSAGE_TYPES: dict[str, str] = {
+    "hello": "worker->server",
+    "welcome": "server->worker",
+    "reject": "server->worker",
+    "job": "server->worker",
+    "result": "worker->server",
+    "error": "worker->server",
+    "heartbeat": "worker->server",
+    "shutdown": "server->worker",
+}
 
 #: Upper bound on a single frame; anything larger is a corrupt stream.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
@@ -61,7 +79,9 @@ class ProtocolError(ValueError):
     """
 
 
-def send_msg(sock: socket.socket, message: dict, lock=None) -> None:
+def send_msg(
+    sock: socket.socket, message: dict, lock: threading.Lock | None = None
+) -> None:
     """Send one frame.  ``lock`` serializes writers sharing the socket
     (the worker's heartbeat thread writes concurrently with results)."""
     body = json.dumps(message, separators=(",", ":")).encode("utf-8")
@@ -104,7 +124,7 @@ def recv_msg(sock: socket.socket) -> dict | None:
 # SweepPoint (de)serialization
 # ----------------------------------------------------------------------
 def config_to_dict(config: SystemConfig) -> dict:
-    out = {}
+    out: dict[str, object] = {}
     for f in fields(config):
         value = getattr(config, f.name)
         if f.name in ("geometry", "timing"):

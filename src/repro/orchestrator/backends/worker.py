@@ -95,6 +95,12 @@ def run_session(
         return None
     if welcome.get("type") == "reject":
         raise WorkerRejected(welcome.get("reason", "rejected"))
+    if welcome.get("type") != "welcome":
+        # A non-welcome registration reply (e.g. the shutdown frame of a
+        # server tearing down just as we connected, or a confused peer) is
+        # not a session: treat it like the EOF race above and reconnect,
+        # instead of entering the job loop on an unregistered connection.
+        return None
     heartbeat = _Heartbeat(sock, lock, heartbeat_interval)
     heartbeat.start()
     done = 0

@@ -17,6 +17,7 @@ import functools
 import hashlib
 import json
 from pathlib import Path
+from typing import Any
 
 #: Bump to invalidate every on-disk cache entry (simulator semantics changed).
 SCHEMA_VERSION = 1
@@ -54,7 +55,7 @@ def _package_fingerprint() -> str:
     return _digest_tree(Path(__file__).resolve().parent.parent)  # src/repro
 
 
-def canonical(obj):
+def canonical(obj: Any) -> Any:
     """Convert ``obj`` to a JSON-serializable structure with stable ordering.
 
     Dataclasses become ``{"__type__": name, **fields}`` so that two
@@ -82,7 +83,7 @@ def canonical(obj):
     raise TypeError(f"cannot canonicalize {type(obj).__name__} for hashing")
 
 
-def config_hash(payload) -> str:
+def config_hash(payload: Any) -> str:
     """A 20-hex-digit digest of an arbitrary canonicalizable payload."""
     body = json.dumps(
         {"schema": SCHEMA_VERSION, "payload": canonical(payload)},

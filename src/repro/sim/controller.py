@@ -317,7 +317,9 @@ class BaselineRefreshEngine(RefreshEngine):
             # cannot keep reopening banks (or pushing tRP-readiness away)
             # faster than the tRAS-gated precharges close them — without
             # this, a saturated rank would starve REF forever.
-            mc.blocked_ranks.add(rank_id)
+            if rank_id not in mc.blocked_ranks:
+                mc.blocked_ranks.add(rank_id)
+                mc.mark_dirty()
             # All banks must be precharged before REF.
             open_bank = mc.first_open_bank(rank_id)
             if open_bank is None and now < rank.ref_ready:

@@ -61,6 +61,7 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
         # Newly due banks move off the heap into the deferred pool with a
         # precomputed forced-promotion cycle (debt only changes at issue,
         # so the budget is fixed for the entry's deferred lifetime).
+        moved = False
         while heap and heap[0][0] <= now:
             due, rank_id, bank_id = heapq.heappop(heap)
             key = (rank_id, bank_id)
@@ -69,6 +70,12 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
             deferred[key] = forced
             if forced < self._sb_forced_min:
                 self._sb_forced_min = forced
+            moved = True
+        if moved:
+            # Heap -> deferred moves leave the wake formula unchanged (both
+            # sides price the entry at due + budget * tREFI), but they do
+            # mutate scheduling containers; keep the memo contract uniform.
+            mc.mark_dirty()
         if not deferred:
             return
         idle = not mc.read_q
@@ -137,7 +144,9 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
             if not self._committed[rank_id]:
                 self._committed[rank_id] = True
                 mc.mark_dirty()
-            mc.blocked_ranks.add(rank_id)
+            if rank_id not in mc.blocked_ranks:
+                mc.blocked_ranks.add(rank_id)
+                mc.mark_dirty()
             open_bank = mc.first_open_bank(rank_id)
             if open_bank is not None:
                 bank = mc.bank(rank_id, open_bank)

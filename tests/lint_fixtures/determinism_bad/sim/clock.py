@@ -1,0 +1,24 @@
+"""Fixture: wall-clock, forbidden import, unseeded RNG, raw set iteration."""
+
+import random
+import time
+
+import numpy as np
+
+
+class Sampler:
+    def __init__(self):
+        self.pending_rows = set()
+
+    def stamp(self):
+        return time.time()
+
+    def draw(self):
+        rng = np.random.default_rng()
+        return rng.random() + random.random()
+
+    def order(self):
+        return [row for row in self.pending_rows]
+
+    def ident(self, obj):
+        return id(obj)

@@ -1,0 +1,15 @@
+"""Fixture: seeded RNG, sorted set iteration, no wall clocks."""
+
+import numpy as np
+
+
+class Sampler:
+    def __init__(self, seed):
+        self.pending_rows = set()
+        self.rng = np.random.default_rng(seed)
+
+    def draw(self):
+        return self.rng.random()
+
+    def order(self):
+        return [row for row in sorted(self.pending_rows)]

@@ -1,0 +1,11 @@
+"""Fixture: a scheduling-state mutation that never marks the memo dirty."""
+
+
+class MemoryController:
+    def mark_dirty(self):
+        self._dirty = True
+
+    def issue_col(self, now):
+        # BAD: bus_next moves but the next_event memo is never invalidated.
+        self.bus_next = now + 4
+        return True

@@ -1,0 +1,24 @@
+"""Fixture: every mutation path marks, including the boolean-flag idiom."""
+
+
+class MemoryController:
+    def mark_dirty(self):
+        self._dirty = True
+
+    def issue_col(self, now):
+        self.bus_next = now + 4
+        self._dirty = True
+        return True
+
+    def promote(self):
+        promoted = False
+        while self.read_q:
+            self.read_q.pop()
+            promoted = True
+        if promoted:
+            self.mark_dirty()
+
+    def block(self, rank):
+        if rank not in self.blocked_ranks:
+            self.blocked_ranks.add(rank)
+            self.mark_dirty()

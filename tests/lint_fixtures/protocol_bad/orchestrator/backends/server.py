@@ -1,0 +1,3 @@
+def handle(sock, msg, send):
+    if msg.get("type") == "hello":
+        send(sock, {"type": "job", "payload": 1})

@@ -1,0 +1,4 @@
+def run(sock, send, recv):
+    send(sock, {"type": "hello"})
+    # BAD: no dispatch arm for "job" — the server's payload is dropped.
+    return recv(sock)

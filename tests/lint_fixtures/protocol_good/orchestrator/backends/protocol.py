@@ -1,0 +1,4 @@
+MESSAGE_TYPES: dict[str, str] = {
+    "hello": "worker->server",
+    "job": "server->worker",
+}

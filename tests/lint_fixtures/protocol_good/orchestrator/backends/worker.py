@@ -1,0 +1,6 @@
+def run(sock, send, recv):
+    send(sock, {"type": "hello"})
+    msg = recv(sock)
+    if msg.get("type") == "job":
+        return msg["payload"]
+    return None

@@ -1,0 +1,12 @@
+"""Fixture: a slotted class assigning an attribute it never declared."""
+
+
+class Entry:
+    __slots__ = ("row",)
+
+    def __init__(self, row):
+        self.row = row
+
+    def poke(self):
+        # BAD: 'hits' is not in __slots__ — AttributeError at runtime.
+        self.hits = 1

@@ -1,0 +1,38 @@
+"""Fixture: slot stores resolve through inheritance, dataclasses and
+properties; an unslotted class is exempt (it has a __dict__)."""
+
+from dataclasses import dataclass
+
+
+class Base:
+    __slots__ = ("a",)
+
+
+class Child(Base):
+    __slots__ = ("b", "_c")
+
+    def fill(self):
+        self.a = 1
+        self.b = 2
+        self.c = 3
+
+    @property
+    def c(self):
+        return self._c
+
+    @c.setter
+    def c(self, value):
+        self._c = value
+
+
+@dataclass(slots=True)
+class Rec:
+    x: int = 0
+
+    def bump(self):
+        self.x += 1
+
+
+class Loose:
+    def anything(self):
+        self.whatever = 1

@@ -1,0 +1,6 @@
+"""Fixture: ``tfoo`` is declared but never enforced anywhere."""
+
+
+class TimingParams:
+    trcd: int = 10
+    tfoo: int = 5

@@ -1,0 +1,6 @@
+class CommandAuditor:
+    def __init__(self, timing):
+        self.trcd = timing.trcd
+
+    def check(self, rec, prev):
+        return rec.cycle - prev.cycle >= self.trcd

@@ -1,0 +1,8 @@
+class MemoryController:
+    def __init__(self, timing):
+        # Constructor conversions are dead gating: reading tfoo here must
+        # NOT count as enforcement.
+        self.tfoo_c = timing.tfoo
+
+    def act_ok(self, bank, now):
+        return now >= bank.next_act and now >= self.timing.trcd_c

@@ -1,0 +1,2 @@
+def build_rule_table(timing):
+    return [("tRCD", timing.trcd)]

@@ -1,0 +1,6 @@
+"""Fixture: both fields are enforced on all three surfaces."""
+
+
+class TimingParams:
+    trcd: int = 10
+    tfoo: int = 5

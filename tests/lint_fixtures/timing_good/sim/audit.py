@@ -1,0 +1,9 @@
+class CommandAuditor:
+    def __init__(self, timing):
+        self.trcd = timing.trcd
+        self.tfoo = timing.tfoo
+
+    def check(self, rec, prev):
+        if rec.cycle - prev.cycle < self.trcd:
+            return False
+        return rec.cycle - prev.cycle >= self.tfoo

@@ -1,0 +1,7 @@
+class MemoryController:
+    def act_ok(self, bank, now):
+        return now >= bank.next_act and now >= self.timing.trcd_c
+
+    def col_ok(self, bank, now):
+        # Cycle-domain twin (tfoo_c) counts as reading tfoo.
+        return now >= bank.busy_until + self.timing.tfoo_c

@@ -1,5 +1,9 @@
 """Command-line interface."""
 
+import json
+import shutil
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -44,6 +48,104 @@ class TestParser:
         ])
         assert args.port == 7000 and args.max_sessions == 1
         assert args.connect_timeout == 5.0
+
+
+class TestLintCommand:
+    """`repro lint`: exit codes 0/1/2, JSON schema, suppression, baseline."""
+
+    FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_findings_exit_one(self, capsys):
+        root = str(self.FIXTURES / "dirty_flag_bad")
+        assert main(["lint", "--root", root, "--rules", "dirty-flag"]) == 1
+        out = capsys.readouterr().out
+        assert "[dirty-flag]" in out and "finding" in out
+
+    def test_usage_error_exits_two(self, capsys):
+        assert main(["lint", "--rules", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().out
+
+    def test_json_report_schema(self, capsys):
+        root = str(self.FIXTURES / "protocol_bad")
+        code = main([
+            "lint", "--root", root, "--rules", "protocol-dispatch", "--json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["clean"] is False
+        assert set(payload) == {
+            "version", "root", "rules", "files", "findings",
+            "suppressed", "baselined", "clean",
+        }
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "path", "line", "symbol", "message"}
+        assert finding["rule"] == "protocol-dispatch"
+
+    def test_json_clean_tree(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True and payload["findings"] == []
+
+    def test_suppression_honored(self, tmp_path, capsys):
+        root = tmp_path / "tree"
+        shutil.copytree(self.FIXTURES / "determinism_bad", root)
+        assert main([
+            "lint", "--root", str(root), "--rules", "determinism",
+        ]) == 1
+        findings = [
+            line for line in capsys.readouterr().out.splitlines()
+            if "[determinism]" in line
+        ]
+        path = root / "sim" / "clock.py"
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for row in findings:
+            lineno = int(row.split(":")[1])
+            lines[lineno - 1] += "  # repro-lint: disable=determinism"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert main([
+            "lint", "--root", str(root), "--rules", "determinism",
+        ]) == 0
+        assert f"{len(findings)} suppressed" in capsys.readouterr().out
+
+    def test_baseline_honored(self, tmp_path, capsys):
+        root = str(self.FIXTURES / "protocol_bad")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "rule": "protocol-dispatch",
+                "path": "orchestrator/backends/worker.py",
+                "symbol": "job",
+                "reason": "fixture: exercising the CLI baseline path",
+            }],
+        }))
+        assert main([
+            "lint", "--root", root, "--rules", "protocol-dispatch",
+            "--baseline", str(baseline),
+        ]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_malformed_baseline_exits_two(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"rule": "slots", "path": "sim/cache.py"}],
+        }))
+        assert main(["lint", "--baseline", str(baseline)]) == 2
+        assert "justification" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("dirty-flag", "timing-coverage", "determinism",
+                     "slots", "protocol-dispatch"):
+            assert rule in out
 
 
 class TestCommands:
