@@ -110,6 +110,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
+    from repro.orchestrator import atomic_write_text
     from repro.sim.audit import attach_auditors
     from repro.sim.config import SystemConfig
     from repro.sim.oracle import oracle_for_config
@@ -132,8 +133,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     oracle = oracle_for_config(config) if args.oracle else None
 
     if args.rules_out and oracle is not None:
-        Path(args.rules_out).write_text(
-            json.dumps(oracle.table.to_json(), indent=2) + "\n"
+        atomic_write_text(
+            args.rules_out, json.dumps(oracle.table.to_json(), indent=2) + "\n"
         )
         print(f"wrote rule table to {args.rules_out}")
 
@@ -160,7 +161,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             path = Path(args.export_log)
             if len(auditors) > 1:
                 path = path.with_name(f"{path.stem}-ch{channel}{path.suffix}")
-            path.write_text(json.dumps(auditor.export_log()) + "\n")
+            atomic_write_text(path, json.dumps(auditor.export_log()) + "\n")
             print(f"wrote audit log to {path}")
     print(format_table(
         ["channel", "commands", "auditor violations", "oracle violations"],
@@ -184,12 +185,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.orchestrator import (
         ResultCache,
         Sweep,
+        SweepJournal,
         Variant,
         axis,
+        journal_path_for,
         mix_workloads,
         plan_sweep,
         run_sweep,
     )
+    from repro.orchestrator.hashing import source_fingerprint
     from repro.sim.config import SystemConfig
 
     variants = []
@@ -229,6 +233,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.incremental and cache is None:
         print("--incremental needs a result store; drop --no-cache")
         return 2
+    if args.resume and cache is None:
+        print("--resume needs a result store; drop --no-cache")
+        return 2
+
+    journal = None
+    if cache is not None:
+        journal = journal_path_for(cache.root, args.name)
+    if args.resume:
+        state = SweepJournal.load(journal)
+        if state.runs == 0:
+            print(f"resume: no journal at {journal}; starting fresh")
+        else:
+            print(f"resume: {state.describe()}")
+            if state.fingerprint and state.fingerprint != source_fingerprint():
+                print(
+                    "resume: simulator source changed since the journaled "
+                    "run; journaled points will be recomputed, not replayed"
+                )
 
     backend = args.backend
     owned_backend = None
@@ -240,17 +262,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             port=args.port,
             spawn_workers=args.spawn_workers,
             registration_timeout=args.registration_timeout,
+            job_deadline=args.job_deadline,
+            strict=args.strict_backend,
+            fallback_workers=args.workers,
         )
         print(f"socket backend: job server on {backend.host}:{backend.port}")
 
     print(f"sweep {args.name!r}: {sweep.size} points on {args.workers or 'auto'} workers")
     plan = None
-    if args.incremental:
+    if args.incremental or args.resume:
         plan = plan_sweep(sweep, cache)
-        print(f"incremental: {plan.describe()}")
+        print(f"{'resume' if args.resume else 'incremental'}: {plan.describe()}")
     try:
         result = run_sweep(
-            sweep, workers=args.workers, cache=cache, backend=backend, plan=plan
+            sweep,
+            workers=args.workers,
+            cache=cache,
+            backend=backend,
+            plan=plan,
+            journal=journal,
         )
     finally:
         if owned_backend is not None:
@@ -277,7 +307,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ))
     if args.json_out:
         import json
-        from pathlib import Path
+
+        from repro.orchestrator import atomic_write_text
 
         payload = {
             "name": args.name,
@@ -297,7 +328,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 for cell, (ws, reads, n) in cells.items()
             ],
         }
-        Path(args.json_out).write_text(json.dumps(payload, indent=2) + "\n")
+        atomic_write_text(args.json_out, json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json_out}")
     return 0
 
@@ -316,6 +347,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         connect_timeout=args.connect_timeout,
         max_sessions=args.max_sessions,
         label=args.label,
+        welcome_timeout=args.welcome_timeout,
+        backoff_seed=args.backoff_seed,
         log=log,
     )
     log(f"executed {done} points total")
@@ -512,6 +545,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="diff the grid against the store first, report the "
                         "reused-vs-computed plan, and dispatch only "
                         "missing/stale points")
+    p.add_argument("--resume", action="store_true",
+                   help="continue an interrupted sweep: report the journal's "
+                        "progress, replay completed points from the store, "
+                        "and compute only the remainder")
+    p.add_argument("--strict-backend", action="store_true", dest="strict_backend",
+                   help="socket backend: fail when no worker registers "
+                        "instead of degrading to the local pool")
+    p.add_argument("--job-deadline", type=float, default=None, dest="job_deadline",
+                   help="socket backend: speculatively re-dispatch a job "
+                        "still in flight after this many seconds (straggler "
+                        "mitigation; results are deduped, never duplicated)")
     p.add_argument("--json-out", default=None, dest="json_out",
                    help="also write per-cell mean results to a JSON file")
     p.set_defaults(func=_cmd_sweep)
@@ -527,6 +571,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit after this long without a reachable job server")
     p.add_argument("--max-sessions", type=int, default=None, dest="max_sessions",
                    help="exit after serving N server sessions (tests/CI)")
+    p.add_argument("--welcome-timeout", type=float, default=10.0,
+                   dest="welcome_timeout",
+                   help="give up on a server that accepts but never sends "
+                        "welcome after this many seconds")
+    p.add_argument("--backoff-seed", type=int, default=0, dest="backoff_seed",
+                   help="seed for the reconnect backoff jitter (give each "
+                        "worker of a fleet a distinct seed)")
     p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser("security", help="PARA configuration for a threshold")

@@ -1,6 +1,6 @@
 """``repro lint``: AST-based invariant linting for the simulator.
 
-Five repo-specific rules guard the invariants the runtime layers
+Six repo-specific rules guard the invariants the runtime layers
 (controller gates → auditor → oracle) cannot see:
 
 ========================  ==============================================
@@ -17,6 +17,9 @@ rule                      invariant
                           hot-path classes declare ``__slots__``
 ``protocol-dispatch``     every socket-protocol message type is sent and
                           dispatched on by the right endpoints
+``protocol-timeouts``     every protocol receive is bounded by a socket
+                          timeout / timeout handler, or carries a
+                          ``blocking-ok:`` justification
 ========================  ==============================================
 
 Run ``repro lint`` (or ``python -m repro.cli lint``); see README
@@ -33,6 +36,7 @@ from repro.lint import (
     determinism,
     dirty_flag,
     protocol_dispatch,
+    protocol_timeouts,
     slots,
     timing_coverage,
 )
@@ -53,6 +57,7 @@ CHECKERS = {
         determinism,
         slots,
         protocol_dispatch,
+        protocol_timeouts,
     )
 }
 

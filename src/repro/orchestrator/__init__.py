@@ -20,20 +20,32 @@ package turns that shape into infrastructure:
   store directory compute each point exactly once across sweeps.
 - :mod:`repro.orchestrator.pool` — :func:`parallel_map`, the generic
   order-preserving helper the chip-characterization experiments use.
+- :mod:`repro.orchestrator.faults` — deterministic fault injection for
+  the socket transport (seeded :class:`FaultPlan`) plus the shared
+  :class:`Backoff` schedule; the chaos suite (``tests/test_chaos.py``)
+  replays every distributed failure mode reproducibly.
+- :mod:`repro.orchestrator.journal` — the append-only per-sweep journal
+  behind ``repro sweep --resume`` (the store remains the authority; the
+  journal reports progress and detects fingerprint drift).
 
 Benchmarks and the ``repro sweep`` / ``repro worker`` CLI subcommands are
 thin layers over these primitives.
 """
 
+from repro.orchestrator.atomicio import atomic_write_text
 from repro.orchestrator.backends import (
     ExecutionBackend,
     LocalPoolBackend,
+    NoWorkersRegistered,
     SerialBackend,
     SocketBackend,
+    WorkerPoolError,
     make_backend,
 )
 from repro.orchestrator.cache import ResultCache, result_from_dict, result_to_dict
+from repro.orchestrator.faults import Backoff, FaultEvent, FaultPlan, injected
 from repro.orchestrator.hashing import config_hash
+from repro.orchestrator.journal import JournalState, SweepJournal, journal_path_for
 from repro.orchestrator.pool import parallel_map
 from repro.orchestrator.runner import (
     SweepPlan,
@@ -53,20 +65,30 @@ from repro.orchestrator.sweep import (
 )
 
 __all__ = [
+    "Backoff",
     "ExecutionBackend",
+    "FaultEvent",
+    "FaultPlan",
+    "JournalState",
     "LocalPoolBackend",
+    "NoWorkersRegistered",
     "ResultCache",
     "SerialBackend",
     "SocketBackend",
     "Sweep",
+    "SweepJournal",
     "SweepPlan",
     "SweepPoint",
     "SweepResult",
     "Variant",
     "Workload",
+    "WorkerPoolError",
+    "atomic_write_text",
     "axis",
     "config_hash",
     "execute_point",
+    "injected",
+    "journal_path_for",
     "make_backend",
     "mix_workloads",
     "parallel_map",

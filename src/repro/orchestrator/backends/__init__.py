@@ -26,6 +26,7 @@ from repro.orchestrator.backends.base import (
 )
 from repro.orchestrator.backends.server import (
     JobServer,
+    NoWorkersRegistered,
     SocketBackend,
     WorkerPoolError,
     spawn_local_worker,
@@ -73,6 +74,7 @@ __all__ = [
     "ExecutionBackend",
     "JobServer",
     "LocalPoolBackend",
+    "NoWorkersRegistered",
     "SerialBackend",
     "SocketBackend",
     "WorkerPoolError",

@@ -22,6 +22,7 @@ import threading
 import time
 import traceback
 
+import repro.orchestrator.faults as faults
 from repro.orchestrator.backends.protocol import (
     PROTOCOL_VERSION,
     point_from_dict,
@@ -70,15 +71,24 @@ class _Heartbeat(threading.Thread):
 
 
 def run_session(
-    sock: socket.socket, *, heartbeat_interval: float = 2.0, label: str | None = None
+    sock: socket.socket,
+    *,
+    heartbeat_interval: float = 2.0,
+    label: str | None = None,
+    welcome_timeout: float = 10.0,
 ) -> int | None:
     """Serve one connected session until shutdown/EOF.
 
     Returns the number of jobs completed, or ``None`` when the server went
-    away before registration finished (the connection raced a shutdown —
-    not a real session).
+    away before registration finished (the connection raced a shutdown, or
+    accepted the TCP connection but never answered the hello — not a real
+    session either way).
     """
     lock = threading.Lock()
+    # Registration is request/response on an idle socket: a server that
+    # accepts but never welcomes (wedged accept thread, port squatter)
+    # must not strand the daemon, so the welcome wait is bounded.
+    sock.settimeout(welcome_timeout)
     send_msg(
         sock,
         {
@@ -90,7 +100,10 @@ def run_session(
         },
         lock=lock,
     )
-    welcome = recv_msg(sock)
+    try:
+        welcome = recv_msg(sock)
+    except socket.timeout:
+        return None  # no welcome within the bound: reconnect with backoff
     if welcome is None:
         return None
     if welcome.get("type") == "reject":
@@ -101,6 +114,10 @@ def run_session(
         # not a session: treat it like the EOF race above and reconnect,
         # instead of entering the job loop on an unregistered connection.
         return None
+    # blocking-ok: job frames arrive at the server's dealing pace (a long
+    # queue drain between jobs is normal), and TCP keepalive bounds a
+    # vanished peer — see _enable_keepalive.
+    sock.settimeout(None)
     heartbeat = _Heartbeat(sock, lock, heartbeat_interval)
     heartbeat.start()
     done = 0
@@ -114,7 +131,11 @@ def run_session(
                 # served session.
                 return done if done else None
             if message.get("type") == "shutdown":
-                return done
+                # Same phantom rule: a shutdown before any job means we
+                # connected to a server that was already tearing down
+                # (back-to-back sweeps race this constantly) — don't let
+                # it consume a ``max_sessions`` slot.
+                return done if done else None
             if message.get("type") != "job":
                 continue
             job_id = message.get("id")
@@ -145,6 +166,8 @@ def serve(
     connect_timeout: float = 60.0,
     max_sessions: int | None = None,
     label: str | None = None,
+    welcome_timeout: float = 10.0,
+    backoff_seed: int = 0,
     log=None,
 ) -> int:
     """The daemon loop: connect → serve a session → reconnect.
@@ -152,32 +175,41 @@ def serve(
     Returns the total number of jobs executed.  Gives up (returns) when no
     server has been reachable for ``connect_timeout`` seconds; raises
     :class:`WorkerRejected` when the server refuses registration, since
-    reconnecting cannot fix a source mismatch.
+    reconnecting cannot fix a source mismatch.  Reconnect spacing follows
+    a seeded exponential backoff (reset after each real session) so a
+    fleet of workers hammering a down server spreads out instead of
+    thundering in lockstep.
     """
     emit = log or (lambda *a: None)
     total = 0
     sessions = 0
+    backoff = faults.Backoff(base=0.25, cap=5.0, seed=backoff_seed)
     deadline = time.monotonic() + connect_timeout
     while True:
         try:
-            sock = socket.create_connection((host, port), timeout=10.0)
+            sock = faults.connect((host, port), timeout=10.0, role="worker")
         except OSError:
             if time.monotonic() > deadline:
                 emit(f"no job server at {host}:{port} for {connect_timeout:.0f}s; exiting")
                 return total
-            time.sleep(0.25)
+            backoff.sleep()
             continue
-        sock.settimeout(None)
         _enable_keepalive(sock)
+        progressed = False
         try:
             done = run_session(
-                sock, heartbeat_interval=heartbeat_interval, label=label
+                sock,
+                heartbeat_interval=heartbeat_interval,
+                label=label,
+                welcome_timeout=welcome_timeout,
             )
+            progressed = done is not None
             if done is not None:
                 total += done
                 sessions += 1
                 emit(f"session {sessions}: executed {done} points")
         except (OSError, ValueError):
+            progressed = True  # a server was really there and then dropped
             emit("session dropped; reconnecting")
         finally:
             try:
@@ -186,4 +218,21 @@ def serve(
                 pass
         if max_sessions is not None and sessions >= max_sessions:
             return total
-        deadline = time.monotonic() + connect_timeout
+        if progressed:
+            # Only contact with a *real* server — a welcomed session or a
+            # mid-session drop — earns a fresh give-up deadline and a
+            # backoff reset.  A phantom (accepted-but-silent server,
+            # shutdown race) must keep eating into the current deadline,
+            # or a wedged server that accepts every connect would strand
+            # the daemon in a reconnect loop forever.
+            backoff.reset()
+            deadline = time.monotonic() + connect_timeout
+        else:
+            if time.monotonic() > deadline:
+                emit(
+                    f"no real job server at {host}:{port} for "
+                    f"{connect_timeout:.0f}s (connects succeed but no "
+                    "welcome); exiting"
+                )
+                return total
+            backoff.sleep()

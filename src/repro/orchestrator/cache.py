@@ -17,10 +17,10 @@ scheduler/engine behavior.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import asdict
 from pathlib import Path
 
+from repro.orchestrator.atomicio import atomic_write_text
 from repro.orchestrator.hashing import source_fingerprint
 from repro.sim.controller import ControllerStats
 from repro.sim.system import SimResult
@@ -111,17 +111,15 @@ class ResultCache:
             pass
 
     def put(self, key: str, result: SimResult, describe: dict | None = None) -> None:
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         body = {
             "key": key,
             "code": self.fingerprint,
             "describe": describe or {},
             "result": result_to_dict(result),
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(body, separators=(",", ":")))
-        os.replace(tmp, path)
+        # Atomic tmp+fsync+rename: a crash mid-put leaves either no entry
+        # or the whole entry, never a torn file for `get` to evict.
+        atomic_write_text(self.path_for(key), json.dumps(body, separators=(",", ":")))
 
     def __len__(self) -> int:
         if not self.root.exists():

@@ -1,0 +1,320 @@
+"""Deterministic fault injection for the distributed sweep layer.
+
+Every distributed-stack failure found so far (the PR 5 frame-truncation
+hangs, the PR 7 phantom-session worker) was found *ad hoc*; this module
+turns each failure mode into a schedulable, seeded, reproducible event so
+the chaos suite (``tests/test_chaos.py``) can prove — not hope — that the
+sweep layer degrades gracefully.
+
+A :class:`FaultPlan` is a seeded RNG plus an ordered list of
+:class:`FaultEvent` entries.  Arming a plan (:func:`arm` /
+:func:`injected`) makes the socket endpoints route their transports
+through :class:`FaultSocket` / :func:`connect`, which consult the plan on
+every connect/send/recv and act out the scheduled failure:
+
+=============  ====== =================================================
+action         op     effect at the transport
+=============  ====== =================================================
+``refuse``     connect raise ``ConnectionRefusedError`` (server down)
+``reset``      send    close the socket, raise ``ConnectionResetError``
+``reset``      recv    same, on the receive path
+``truncate``   send    deliver only ``arg`` bytes of the frame, then
+                       close (a torn write / crashed sender)
+``corrupt``    send    deliver the frame with seeded byte flips in the
+                       body (header intact: the receiver reads exactly
+                       ``length`` bytes of garbage JSON)
+``delay``      send    sleep ``arg`` seconds, then deliver
+``stall``      send    same as ``delay`` — used with a long ``arg`` to
+                       model a straggler that is alive but slow
+``crash``      send    close the socket and raise :class:`InjectedCrash`,
+                       which the worker loop does NOT catch — the daemon
+                       dies exactly as it would on SIGKILL
+=============  ====== =================================================
+
+Determinism: events are matched by endpoint *role*, operation, an
+optional ``match`` substring of the outbound frame (use it for send
+events — heartbeat frames interleave nondeterministically, so matching
+on content like ``'"type":"result"'`` pins the event to the intended
+frame regardless of heartbeat timing), and the *nth* such match.  The
+plan's RNG (seeded) feeds only the corruption byte positions and any
+jitter, so two runs with the same seed fire the same events with the
+same payloads — ``FaultPlan.fired`` records them for equality asserts.
+
+Zero cost when disarmed: :func:`wrap` returns the raw socket unchanged
+and :func:`connect` adds one ``None`` check per *connection* (never per
+frame or per byte), so the production path is untouched.
+
+:class:`Backoff` also lives here: the seeded exponential-backoff-with-
+jitter schedule used by worker reconnects, job retries, and the listener
+rebind loop (replacing the fixed sleeps of PRs 4–5).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+class InjectedCrash(Exception):
+    """A planned worker crash.
+
+    Deliberately *not* an ``OSError``: the worker daemon's session loop
+    catches connection-level errors and reconnects, but a crash must kill
+    the daemon outright (tests run workers as threads, so raising through
+    ``serve`` is the thread-level equivalent of SIGKILL).
+    """
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled failure: fires on the nth matching transport op."""
+
+    #: What happens — see the module docstring table.
+    action: str
+    #: Which endpoint's transport acts ("worker" or "server").
+    role: str = "worker"
+    #: Which operation triggers it ("connect", "send", or "recv").
+    op: str = "send"
+    #: Substring the outbound frame must contain ("" matches any frame).
+    #: Always set this for send events: heartbeats share the socket.
+    match: str = ""
+    #: Fire on the nth matching operation (1-based).
+    nth: int = 1
+    #: Fire on this many consecutive matches (refuse N connects, ...).
+    times: int = 1
+    #: Seconds for delay/stall, byte count for truncate.
+    arg: float = 0.0
+
+
+class FaultPlan:
+    """A seeded, ordered schedule of transport faults.
+
+    Thread-safe: server dealer threads, worker sessions, and heartbeat
+    threads all consult the same plan concurrently.  ``fired`` is the
+    reproducibility log — a list of ``(event_index, action, role, op,
+    detail)`` tuples appended exactly when an event acts.
+    """
+
+    def __init__(self, seed: int, events: Iterable[FaultEvent] = ()):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.events: list[FaultEvent] = list(events)
+        self._counts = [0] * len(self.events)
+        self.fired: list[tuple[int, str, str, str, str]] = []
+        self._lock = threading.Lock()
+
+    def decide(self, role: str, op: str, data: bytes = b"") -> FaultEvent | None:
+        """Tick every matching event's counter; return the first event
+        whose firing window covers this occurrence (or ``None``)."""
+        with self._lock:
+            chosen: tuple[int, FaultEvent] | None = None
+            for i, event in enumerate(self.events):
+                if event.role != role or event.op != op:
+                    continue
+                if event.match and event.match.encode("utf-8") not in data:
+                    continue
+                self._counts[i] += 1
+                in_window = event.nth <= self._counts[i] < event.nth + event.times
+                if chosen is None and in_window:
+                    chosen = (i, event)
+            if chosen is None:
+                return None
+            index, event = chosen
+            self._record(index, event, role, op, "")
+            return event
+
+    def _record(self, index: int, event: FaultEvent, role: str, op: str,
+                detail: str) -> None:
+        self.fired.append((index, event.action, role, op, detail))
+
+    def corruption(self, data: bytes, header: int = 4) -> bytes:
+        """Seeded byte flips in the frame body (header left intact so the
+        receiver reads exactly ``length`` bytes of garbage)."""
+        body = bytearray(data)
+        if len(body) <= header:
+            return bytes(body)
+        with self._lock:
+            # The first body byte always flips (0x7b '{' -> 0x84, an
+            # invalid UTF-8 start byte: guaranteed decode failure), the
+            # rest are seeded random positions for variety.
+            positions = sorted(
+                {header}
+                | {
+                    self.rng.randrange(header, len(body))
+                    for __ in range(min(8, len(body) - header))
+                }
+            )
+            for position in positions:
+                body[position] ^= 0xFF
+            if self.fired:
+                index, action, role, op, __ = self.fired[-1]
+                self.fired[-1] = (index, action, role, op,
+                                  f"flipped={positions}")
+        return bytes(body)
+
+
+# ----------------------------------------------------------------------
+# Arming
+# ----------------------------------------------------------------------
+_armed: FaultPlan | None = None
+
+
+def arm(plan: FaultPlan) -> FaultPlan:
+    """Globally arm ``plan``; endpoints created afterwards are faulty."""
+    global _armed
+    _armed = plan
+    return plan
+
+
+def disarm() -> None:
+    global _armed
+    _armed = None
+
+
+def active() -> FaultPlan | None:
+    return _armed
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """``with injected(FaultPlan(...)):`` — arm for the block, always
+    disarm after (the test-suite idiom)."""
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        disarm()
+
+
+def wrap(sock: socket.socket, role: str):
+    """Route ``sock`` through the armed plan; identity when disarmed."""
+    plan = _armed
+    if plan is None:
+        return sock
+    return FaultSocket(sock, plan, role)
+
+
+def connect(address: tuple[str, int], timeout: float | None = None,
+            role: str = "worker"):
+    """``socket.create_connection`` with connect-time fault injection."""
+    plan = _armed
+    if plan is not None:
+        event = plan.decide(role, "connect")
+        if event is not None:
+            if event.action == "refuse":
+                raise ConnectionRefusedError(
+                    f"injected: connection refused ({address[0]}:{address[1]})"
+                )
+            if event.action in ("delay", "stall"):
+                time.sleep(event.arg)
+    return wrap(socket.create_connection(address, timeout=timeout), role)
+
+
+class FaultSocket:
+    """A socket proxy that acts out the plan on sendall/recv.
+
+    Everything else (``settimeout``, ``setsockopt``, ``close``, ...)
+    delegates to the real socket, so the endpoints use it unchanged.
+    ``send_msg`` writes each frame with a single ``sendall``, which is
+    what makes frame-content matching possible at this layer.
+    """
+
+    __slots__ = ("_sock", "_plan", "_role")
+
+    def __init__(self, sock: socket.socket, plan: FaultPlan, role: str):
+        self._sock = sock
+        self._plan = plan
+        self._role = role
+
+    def __getattr__(self, name: str):
+        return getattr(self._sock, name)
+
+    def _abort(self, exc: Exception) -> Exception:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        return exc
+
+    def sendall(self, data: bytes) -> None:
+        event = self._plan.decide(self._role, "send", data)
+        if event is None:
+            self._sock.sendall(data)
+            return
+        action = event.action
+        if action in ("delay", "stall"):
+            time.sleep(event.arg)
+            self._sock.sendall(data)
+        elif action == "truncate":
+            keep = int(event.arg) if event.arg else max(1, len(data) // 2)
+            self._sock.sendall(data[:keep])
+            raise self._abort(ConnectionResetError("injected: truncated frame"))
+        elif action == "corrupt":
+            self._sock.sendall(self._plan.corruption(data))
+        elif action == "reset":
+            raise self._abort(ConnectionResetError("injected: connection reset"))
+        elif action == "crash":
+            raise self._abort(InjectedCrash("injected: worker crash mid-job"))
+        else:
+            raise ValueError(f"unknown fault action {action!r}")
+
+    def recv(self, bufsize: int) -> bytes:
+        event = self._plan.decide(self._role, "recv")
+        if event is not None:
+            if event.action in ("delay", "stall"):
+                time.sleep(event.arg)
+            elif event.action == "reset":
+                raise self._abort(
+                    ConnectionResetError("injected: connection reset")
+                )
+            elif event.action == "crash":
+                raise self._abort(InjectedCrash("injected: crash on receive"))
+        return self._sock.recv(bufsize)
+
+
+# ----------------------------------------------------------------------
+# Backoff
+# ----------------------------------------------------------------------
+class Backoff:
+    """Seeded exponential backoff with jitter.
+
+    Delays grow ``base * factor**attempt`` capped at ``cap``, each scaled
+    by a seeded jitter in ``[0.5, 1.5)`` so a fleet of retrying workers
+    never thunders in lockstep, yet every schedule is reproducible from
+    its seed.  ``reset()`` after a success restarts the schedule.
+    """
+
+    __slots__ = ("base", "cap", "factor", "attempt", "_rng")
+
+    def __init__(self, base: float = 0.05, cap: float = 5.0,
+                 factor: float = 2.0, seed: int = 0):
+        if base <= 0 or cap < base or factor < 1.0:
+            raise ValueError(
+                f"need 0 < base <= cap and factor >= 1, got "
+                f"base={base}, cap={cap}, factor={factor}"
+            )
+        self.base = base
+        self.cap = cap
+        self.factor = factor
+        self.attempt = 0
+        self._rng = random.Random(seed)
+
+    def next(self) -> float:
+        """The next delay in seconds (advances the schedule)."""
+        nominal = min(self.cap, self.base * self.factor ** self.attempt)
+        self.attempt += 1
+        return nominal * (0.5 + self._rng.random())
+
+    def sleep(self) -> float:
+        """Sleep the next delay; returns how long it slept."""
+        delay = self.next()
+        time.sleep(delay)
+        return delay
+
+    def reset(self) -> None:
+        self.attempt = 0

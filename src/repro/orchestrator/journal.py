@@ -1,0 +1,140 @@
+"""The crash-safe sweep journal: append-only progress for ``--resume``.
+
+One JSONL file per sweep name (``<store>/journals/<name>.jsonl``).  Each
+run appends a ``begin`` record (grid size, source fingerprint, how many
+points the store replayed), one ``done`` record per point *as its result
+lands* (flushed and fsync'd, so a crash loses at most the in-flight
+point), and a ``complete`` record when the sweep finishes.
+
+Recovery contract: the content-addressed result store is the authority —
+``plan_sweep`` replays every completed point from it regardless of the
+journal — so the journal's job is the *human/CLI* side of resume: report
+how far the interrupted run got, detect a fingerprint change (journaled
+points from different simulator source will be recomputed, not replayed),
+and flag store entries that vanished out from under the journal.
+:meth:`SweepJournal.load` tolerates a torn final line (the crash wrote a
+partial record) by counting everything before it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class JournalState:
+    """What a journal file says happened across all runs of one sweep."""
+
+    path: Path
+    #: Keys with a ``done`` record (across every run).
+    done_keys: set[str] = field(default_factory=set)
+    #: Number of ``begin`` records (runs attempted).
+    runs: int = 0
+    #: True when the latest run appended its ``complete`` record.
+    complete: bool = False
+    #: Fingerprint stamped by the most recent ``begin`` record.
+    fingerprint: str | None = None
+    #: Grid size stamped by the most recent ``begin`` record.
+    points: int = 0
+    #: True when the final line was torn (crash mid-append).
+    torn_tail: bool = False
+
+    @property
+    def done(self) -> int:
+        return len(self.done_keys)
+
+    def describe(self) -> str:
+        status = "complete" if self.complete else "interrupted"
+        torn = ", torn tail" if self.torn_tail else ""
+        return (
+            f"{self.done}/{self.points or '?'} points journaled over "
+            f"{self.runs} run(s), last {status}{torn}"
+        )
+
+
+class SweepJournal:
+    """Append-only journal for one sweep; every append is fsync'd."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle = None
+
+    # -- writing -------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def begin(self, sweep: str, points: int, fingerprint: str,
+              reused: int = 0) -> None:
+        self._append({
+            "event": "begin",
+            "sweep": sweep,
+            "points": points,
+            "fingerprint": fingerprint,
+            "reused": reused,
+        })
+
+    def record_done(self, index: int, key: str) -> None:
+        self._append({"event": "done", "index": index, "key": key})
+
+    def complete(self) -> None:
+        self._append({"event": "complete"})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> JournalState:
+        """Replay a journal file; missing file = zero-progress state."""
+        state = JournalState(path=Path(path))
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return state
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A crash tore the final append; everything before it is
+                # intact (appends are whole-line + fsync).
+                state.torn_tail = True
+                break
+            event = record.get("event")
+            if event == "begin":
+                state.runs += 1
+                state.complete = False
+                state.fingerprint = record.get("fingerprint")
+                state.points = int(record.get("points", 0))
+            elif event == "done":
+                key = record.get("key")
+                if isinstance(key, str):
+                    state.done_keys.add(key)
+            elif event == "complete":
+                state.complete = True
+        return state
+
+
+def journal_path_for(store_root: str | Path, sweep_name: str) -> Path:
+    """Where a sweep's journal lives inside a result store."""
+    safe = "".join(
+        ch if ch.isalnum() or ch in "-_." else "_" for ch in sweep_name
+    )
+    return Path(store_root) / "journals" / f"{safe}.jsonl"

@@ -25,6 +25,8 @@ from typing import Iterator
 from repro.orchestrator.backends import ExecutionBackend, make_backend
 from repro.orchestrator.cache import ResultCache
 from repro.orchestrator.execute import execute_point  # noqa: F401  (re-export)
+from repro.orchestrator.hashing import source_fingerprint
+from repro.orchestrator.journal import SweepJournal
 from repro.orchestrator.pool import default_workers
 from repro.orchestrator.sweep import Sweep, SweepPoint
 from repro.sim.system import SimResult
@@ -145,6 +147,7 @@ def run_sweep(
     cache: ResultCache | str | Path | None = None,
     backend: str | ExecutionBackend | None = None,
     plan: SweepPlan | None = None,
+    journal: SweepJournal | str | Path | None = None,
 ) -> SweepResult:
     """Execute every point of ``sweep``, reusing the store when possible.
 
@@ -156,12 +159,21 @@ def run_sweep(
     used as-is (and not closed).  ``plan`` short-circuits the store diff
     when the caller already ran :func:`plan_sweep` (e.g. to report an
     incremental plan before dispatching).
+
+    Crash safety: every result is persisted to ``cache`` (and journaled to
+    ``journal``, when given) *the moment the backend yields it* — an
+    interrupted sweep keeps all completed points, and re-running it (the
+    CLI's ``--resume``) replays them from the store and computes only the
+    remainder.
     """
     start = time.perf_counter()
     if workers is None:
         workers = default_workers()
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
+    owned_journal = journal is not None and not isinstance(journal, SweepJournal)
+    if owned_journal:
+        journal = SweepJournal(journal)
     # Snapshot the (possibly reused) cache's counters to report deltas.
     # A caller-provided plan already consumed its hits outside this call,
     # so the plan's own tally stands in for the delta there.
@@ -173,30 +185,53 @@ def run_sweep(
     results = plan.results
     todo = plan.todo
 
+    if journal is not None:
+        journal.begin(
+            sweep.name,
+            len(plan.points),
+            source_fingerprint(),
+            reused=plan.reused,
+        )
+
     backend_name = backend if isinstance(backend, str) else None
-    if todo:
-        bk, owned = make_backend(backend, workers)
-        backend_name = bk.name
-        try:
-            jobs = [(i, plan.points[i]) for i in todo]
-            for index, result in bk.run_jobs(jobs):
-                results[index] = result
-        finally:
-            if owned:
-                bk.close()
-        missing = [i for i in todo if results[i] is None]
-        if missing:
-            raise RuntimeError(
-                f"backend {backend_name!r} returned no result for "
-                f"{len(missing)} points (first: {plan.points[missing[0]].label})"
-            )
-        if cache is not None:
-            for i in todo:
-                cache.put(
-                    plan.keys[i], results[i], describe=dict(plan.points[i].coords)
+    try:
+        if todo:
+            bk, owned = make_backend(backend, workers)
+            backend_name = bk.name
+            try:
+                jobs = [(i, plan.points[i]) for i in todo]
+                for index, result in bk.run_jobs(jobs):
+                    results[index] = result
+                    # Persist immediately: a crash after this point cannot
+                    # lose this result, only in-flight ones.
+                    if cache is not None:
+                        cache.put(
+                            plan.keys[index],
+                            result,
+                            describe=dict(plan.points[index].coords),
+                        )
+                    if journal is not None:
+                        journal.record_done(index, plan.keys[index])
+            finally:
+                if owned:
+                    bk.close()
+            if getattr(bk, "degraded", False):
+                backend_name = f"{bk.name}+local-fallback"
+            missing = [i for i in todo if results[i] is None]
+            if missing:
+                raise RuntimeError(
+                    f"backend {backend_name!r} returned no result for "
+                    f"{len(missing)} points (first: {plan.points[missing[0]].label})"
                 )
-    elif backend_name is None:
-        backend_name = backend.name if isinstance(backend, ExecutionBackend) else "local"
+        elif backend_name is None:
+            backend_name = (
+                backend.name if isinstance(backend, ExecutionBackend) else "local"
+            )
+        if journal is not None:
+            journal.complete()
+    finally:
+        if owned_journal:
+            journal.close()
 
     if caller_plan:
         cache_hits, cache_misses = plan.reused, plan.computed

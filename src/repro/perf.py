@@ -135,6 +135,6 @@ def measure_kernel(instr_budget: int = 100_000, reps: int = 3) -> dict:
 
 
 def write_bench(payload: dict, path: str | Path) -> Path:
-    path = Path(path)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
-    return path
+    from repro.orchestrator.atomicio import atomic_write_text
+
+    return atomic_write_text(path, json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,126 @@
+"""CI gate for the chaos matrix (``tests/test_chaos.py``).
+
+Two passes, mirroring ``tools/check_lint.py``'s philosophy that a guard
+which never fires proves nothing:
+
+1. **Matrix pass** — run the full fault-injection suite under multiple
+   fault seeds (``REPRO_CHAOS_SEED``).  Every scenario must complete
+   bit-identical to serial under every seed; a scenario that only passes
+   under seed 0 is a flake wearing a determinism costume.
+2. **Planted-mutation pass** — copy ``src/repro`` to a temp tree,
+   disable requeue-on-death inside ``JobServer._requeue`` (a worker
+   death now fails the sweep instead of re-queueing the job), and
+   require the chaos suite to FAIL against the mutated tree.  If it
+   still passes, the suite is vacuous — it would wave through a
+   distributed layer that cannot survive a single worker crash.
+
+Usage::
+
+    python tools/check_chaos.py                # seeds 0,1 + mutation
+    python tools/check_chaos.py --seeds 0      # single-seed quick pass
+    python tools/check_chaos.py --skip-mutation
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+#: Wall-clock cap per pytest invocation.  A mutated tree may *hang*
+#: instead of failing (a dropped job never completes the sweep); the cap
+#: converts that into a detected failure instead of a stuck CI job.
+SUITE_TIMEOUT_S = 420
+
+
+def _run_suite(pythonpath: str, seed: int, select: str | None = None) -> int | None:
+    """Exit code of one chaos-suite run (``None`` = timed out)."""
+    cmd = [sys.executable, "-m", "pytest", "-q", "tests/test_chaos.py"]
+    if select:
+        cmd += ["-k", select]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = pythonpath
+    env["REPRO_CHAOS_SEED"] = str(seed)
+    try:
+        proc = subprocess.run(cmd, cwd=REPO, env=env, timeout=SUITE_TIMEOUT_S)
+    except subprocess.TimeoutExpired:
+        return None
+    return proc.returncode
+
+
+def check_matrix(seeds: list[int]) -> int:
+    failures = 0
+    for seed in seeds:
+        code = _run_suite(str(REPO / "src"), seed)
+        if code == 0:
+            print(f"chaos matrix [seed {seed}]: ok")
+        else:
+            failures += 1
+            state = "timed out" if code is None else f"exit {code}"
+            print(f"chaos matrix [seed {seed}]: FAIL ({state})")
+    return failures
+
+
+def _plant_no_requeue(tree: Path) -> None:
+    """Disable requeue-on-death: a worker death fails the sweep."""
+    path = tree / "orchestrator" / "backends" / "server.py"
+    text = path.read_text(encoding="utf-8")
+    head, sep, tail = text.partition("def _requeue")
+    marker = "        self._jobs.put(job)\n"
+    assert sep and marker in tail, "requeue put() not found to disable"
+    mutated = tail.replace(
+        marker,
+        '        self._fail(f"requeue disabled (planted mutation): '
+        'point {job.index}")\n',
+        1,
+    )
+    path.write_text(head + sep + mutated, encoding="utf-8")
+
+
+def check_mutation() -> int:
+    with tempfile.TemporaryDirectory(prefix="chaosmut-") as tmp:
+        tree = Path(tmp) / "repro"
+        shutil.copytree(SRC, tree, ignore=shutil.ignore_patterns("__pycache__"))
+        _plant_no_requeue(tree)
+        # The crash/reset scenarios exercise requeue directly; running the
+        # focused subset keeps the mutation pass fast.
+        code = _run_suite(
+            tmp, seed=0, select="reset_mid_result or crash_mid_job"
+        )
+    if code == 0:
+        print("mutation pass [no-requeue]: FAIL — the chaos suite passed "
+              "against a tree that drops dead workers' jobs (vacuous suite)")
+        return 1
+    state = "timed out (counts as detected)" if code is None else f"exit {code}"
+    print(f"mutation pass [no-requeue]: ok — suite failed as required ({state})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", default="0,1",
+                        help="comma list of REPRO_CHAOS_SEED values")
+    parser.add_argument("--skip-mutation", action="store_true",
+                        help="matrix pass only (skip the vacuousness guard)")
+    args = parser.parse_args(argv)
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+
+    failures = check_matrix(seeds)
+    if not args.skip_mutation:
+        failures += check_mutation()
+    if failures:
+        print(f"FAIL: {failures} chaos-gate problem(s)")
+        return 1
+    print("OK: chaos matrix deterministic across seeds and non-vacuous")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -103,12 +103,25 @@ def _mutate_protocol(tree: Path) -> None:
     )
 
 
+def _mutate_timeouts(tree: Path) -> None:
+    """Plant an unbounded protocol receive in the server endpoint."""
+    path = tree / "orchestrator" / "backends" / "server.py"
+    text = path.read_text(encoding="utf-8")
+    path.write_text(
+        text
+        + "\n\ndef _lint_mut_unbounded(conn):\n"
+        + "    return recv_msg(conn)\n",
+        encoding="utf-8",
+    )
+
+
 MUTATIONS = (
     ("dirty-flag", _mutate_dirty_flag),
     ("timing-coverage", _mutate_timing),
     ("determinism", _mutate_determinism),
     ("slots", _mutate_slots),
     ("protocol-dispatch", _mutate_protocol),
+    ("protocol-timeouts", _mutate_timeouts),
 )
 
 
