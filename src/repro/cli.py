@@ -1,6 +1,6 @@
 """Command-line entry points for the reproduction.
 
-Eight subcommands mirror the repository's main workflows:
+Nine subcommands mirror the repository's main workflows:
 
 - ``characterize`` — run the §4 experiments on a tested module.
 - ``simulate`` — one cycle-level run of a refresh configuration.
@@ -9,8 +9,10 @@ Eight subcommands mirror the repository's main workflows:
 - ``sweep`` — an orchestrated parameter-grid sweep (parallel + cached,
   with pluggable execution backends and incremental regeneration).
 - ``worker`` — a sweep-execution worker daemon for ``--backend socket``.
+- ``status`` — render the live fleet status file and journal progress.
 - ``security`` — print PARA's (revisited) configuration for a threshold.
-- ``perf`` — measure kernel throughput and write ``BENCH_kernel.json``.
+- ``perf`` — measure kernel throughput and write ``BENCH_kernel.json``
+  (``--profile`` adds the phase-attributed wall-time breakdown).
 - ``lint`` — AST-based invariant linter (dirty-flag discipline, timing
   enforcement coverage, determinism, ``__slots__``, protocol
   exhaustiveness); exit 0 clean / 1 findings / 2 usage error.
@@ -24,6 +26,8 @@ Usage::
         --mixes 2 --workers 4 --cache-dir .sweep-cache
     python -m repro.cli worker --port 7781 &
     python -m repro.cli sweep --backend socket --port 7781 --incremental
+    python -m repro.cli sweep --status-file .sweep-status.json
+    python -m repro.cli status --status-file .sweep-status.json
     python -m repro.cli security --nrh 128 --slack 4
     python -m repro.cli perf --out BENCH_kernel.json
     python -m repro.cli lint --json
@@ -84,9 +88,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         tref_slack_acts=args.slack,
         para_nrh=args.para_nrh,
     )
-    result = System(
+    system = System(
         config, mix_for(args.mix), seed=args.seed, instr_budget=args.instructions
-    ).run()
+    )
+    tracers = []
+    if args.trace_out:
+        from repro.obs.tracer import attach_tracers
+
+        tracers = attach_tracers(system)
+    result = system.run()
     print(format_table(
         ["metric", "value"],
         [
@@ -103,6 +113,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ],
         title=f"{args.mode} @ {args.capacity:.0f} Gbit, mix {args.mix}",
     ))
+    if tracers:
+        import os
+
+        from repro.obs.tracer import trace_json
+        from repro.orchestrator import atomic_write_text
+
+        os.makedirs(args.trace_out, exist_ok=True)
+        for tracer in tracers:
+            path = os.path.join(
+                args.trace_out, f"simulate-ch{tracer.channel}.trace.json"
+            )
+            atomic_write_text(path, trace_json(tracer.export()))
+            print(
+                f"wrote {path} ({tracer.events_total} events, "
+                f"{tracer.dropped} dropped)"
+            )
     return 0
 
 
@@ -268,6 +294,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         print(f"socket backend: job server on {backend.host}:{backend.port}")
 
+    status = None
+    if args.status_file:
+        from repro.obs.fleet import FleetStatus
+
+        status = FleetStatus(args.status_file)
+
     print(f"sweep {args.name!r}: {sweep.size} points on {args.workers or 'auto'} workers")
     plan = None
     if args.incremental or args.resume:
@@ -281,6 +313,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             backend=backend,
             plan=plan,
             journal=journal,
+            status=status,
         )
     finally:
         if owned_backend is not None:
@@ -297,14 +330,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         [", ".join(f"{k}={v}" for k, v in cell), f"{ws / n:.3f}", f"{reads / n:.0f}"]
         for cell, (ws, reads, n) in cells.items()
     ]
+    # Surface the socket server's hidden counters on the summary line —
+    # only the non-zero ones, so serial/local titles (and the CI greps
+    # on "N cached") are unchanged.
+    tele = result.telemetry
+    extras = [
+        f"{key} {tele[key]}"
+        for key in ("retries", "speculated", "quarantined")
+        if tele.get(key)
+    ]
+    if tele.get("degraded"):
+        extras.append("degraded to local pool")
+    suffix = f"; {', '.join(extras)}" if extras else ""
     print(format_table(
         ["configuration", "weighted speedup", "reads served"],
         rows,
         title=f"sweep {args.name}: {len(result)} runs, "
         f"{result.reused} cached, {result.computed} executed, "
         f"{result.elapsed_s:.1f}s on {result.workers} workers "
-        f"({result.backend} backend)",
+        f"({result.backend} backend{suffix})",
     ))
+    if status is not None:
+        print(f"status file: {args.status_file}")
     if args.json_out:
         import json
 
@@ -318,6 +365,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "backend": result.backend,
             "reused": result.reused,
             "computed": result.computed,
+            "elapsed_s": round(result.elapsed_s, 3),
+            "workers": result.workers,
+            "telemetry": result.telemetry,
+            **({"fleet": status.job_counts()} if status is not None else {}),
             "cells": [
                 {
                     "coords": dict(cell),
@@ -355,6 +406,15 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.obs.fleet import journal_progress, load_status, render_status
+
+    status = load_status(args.status_file) if args.status_file else None
+    journals = journal_progress(args.store) if args.store else []
+    print(render_status(status, journals))
+    return 0 if status is not None or journals else 1
+
+
 def _cmd_security(args: argparse.Namespace) -> int:
     from repro.rowhammer.security import (
         k_factor,
@@ -385,7 +445,9 @@ def _cmd_security(args: argparse.Namespace) -> int:
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf import measure_kernel, write_bench
 
-    payload = measure_kernel(instr_budget=args.instructions, reps=args.reps)
+    payload = measure_kernel(
+        instr_budget=args.instructions, reps=args.reps, profile=args.profile
+    )
     rows = []
     for name, row in payload["workloads"].items():
         rows.append([
@@ -409,6 +471,23 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         title=f"Kernel throughput ({payload['machine']['cpus']} CPU, "
         f"python {payload['machine']['python']}, {args.reps} reps)",
     ))
+    if args.profile:
+        profile = payload["profile"]
+        prows = [
+            [phase, f"{row['seconds']:.2f}", f"{row['calls']:,}",
+             f"{row['share'] * 100:.1f}%"]
+            for phase, row in profile["phases"].items()
+        ]
+        prows.append([
+            "other (unattributed)", f"{profile['other_s']:.2f}", "",
+            f"{profile['other_share'] * 100:.1f}%",
+        ])
+        print(format_table(
+            ["phase", "excl (s)", "calls", "share"],
+            prows,
+            title="Phase breakdown (instrumented runs; shares are the "
+            "comparable signal)",
+        ))
     if args.out:
         write_bench(payload, args.out)
         print(f"wrote {args.out}")
@@ -481,6 +560,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mix", type=int, default=0)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--instructions", type=int, default=100_000)
+    p.add_argument("--trace-out", default=None, dest="trace_out",
+                   help="arm the deterministic sim tracer and write one "
+                        "Chrome trace-event JSON per channel to this "
+                        "directory (timestamps are simulated cycles)")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -557,7 +640,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "still in flight after this many seconds (straggler "
                         "mitigation; results are deduped, never duplicated)")
     p.add_argument("--json-out", default=None, dest="json_out",
-                   help="also write per-cell mean results to a JSON file")
+                   help="also write per-cell mean results to a JSON file "
+                        "(includes backend telemetry: retries, speculation, "
+                        "quarantine, fallback)")
+    p.add_argument("--status-file", default=None, dest="status_file",
+                   help="mirror live sweep/fleet state to this JSON file "
+                        "(atomically rewritten; read it with `repro status`)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("worker", help="sweep-execution worker daemon (socket backend)")
@@ -580,6 +668,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "worker of a fleet a distinct seed)")
     p.set_defaults(func=_cmd_worker)
 
+    p = sub.add_parser(
+        "status",
+        help="render a sweep's live fleet status and journal progress",
+    )
+    p.add_argument("--status-file", default=".sweep-status.json",
+                   dest="status_file",
+                   help="status snapshot written by `repro sweep "
+                        "--status-file` ('' skips it)")
+    p.add_argument("--store", default=".sweep-cache",
+                   help="result store whose journals report per-sweep "
+                        "progress ('' skips them)")
+    p.set_defaults(func=_cmd_status)
+
     p = sub.add_parser("security", help="PARA configuration for a threshold")
     p.add_argument("--nrh", type=float, default=128.0)
     p.add_argument("--slack", type=int, default=0)
@@ -592,6 +693,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="BENCH_kernel.json",
                    help="output JSON path ('' disables writing); floors are "
                         "checked by tools/check_kernel_perf.py")
+    p.add_argument("--profile", action="store_true",
+                   help="also attribute wall time to kernel phases "
+                        "(schedule, queue-scan, next-event, refresh-engine, "
+                        "bus-gating, trace-refill) via one instrumented run "
+                        "per workload; recorded under 'profile' in --out")
     p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser(

@@ -234,6 +234,10 @@ class HiraRefreshEngine(RefreshEngine):
                 if self.spt.isolated(sa_victim, sa_demand):
                     self.pr[rank].pop(bank)
                     self._refresh_active(rank, bank)
+                    if self.mc.tracer is not None:
+                        self.mc.tracer.on_decision(
+                            "ride", now, rank, bank, preventive_head.row
+                        )
                     return preventive_head.row
             return None
         periodic_deadline = self._periodic_deadline(periodic)
@@ -263,12 +267,19 @@ class HiraRefreshEngine(RefreshEngine):
                 if partner is not None:
                     periodic.pending.popleft()
                     self._refresh_active(rank, bank)
-                    return self.refptr[rank].advance(bank, partner)
+                    row = self.refptr[rank].advance(bank, partner)
+                    if self.mc.tracer is not None:
+                        self.mc.tracer.on_decision("ride", now, rank, bank, row)
+                    return row
             elif kind == "preventive" and preventive_head is not None:
                 sa_victim = self.spt.subarray_of_row(preventive_head.row)
                 if self.spt.isolated(sa_victim, sa_demand):
                     self.pr[rank].pop(bank)
                     self._refresh_active(rank, bank)
+                    if self.mc.tracer is not None:
+                        self.mc.tracer.on_decision(
+                            "ride", now, rank, bank, preventive_head.row
+                        )
                     return preventive_head.row
         return None
 
@@ -472,7 +483,10 @@ class HiraRefreshEngine(RefreshEngine):
             partner = self.spt.partner_subarray((rank, bank_id), sa_first)
             if partner is not None:
                 periodic.credit += 1
-                return self.refptr[rank].advance(bank_id, partner)
+                row = self.refptr[rank].advance(bank_id, partner)
+                if self.mc.tracer is not None:
+                    self.mc.tracer.on_decision("pull-forward", now, rank, bank_id, row)
+                return row
         return None
 
     def _perform_due_refresh(self, rank: int, bank_id: int, now: int) -> None:
@@ -486,6 +500,8 @@ class HiraRefreshEngine(RefreshEngine):
                 rank, bank_id, self.spt.subarray_of_row(first), now
             )
             if partner is not None:
+                if mc.tracer is not None:
+                    mc.tracer.on_decision("pair", now, rank, bank_id, partner)
                 mc.issue_hira_refresh_pair(rank, bank_id, now)
                 return
         mc.issue_solo_refresh(rank, bank_id, now)

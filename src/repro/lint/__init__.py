@@ -1,6 +1,6 @@
 """``repro lint``: AST-based invariant linting for the simulator.
 
-Six repo-specific rules guard the invariants the runtime layers
+Seven repo-specific rules guard the invariants the runtime layers
 (controller gates → auditor → oracle) cannot see:
 
 ========================  ==============================================
@@ -20,6 +20,9 @@ rule                      invariant
 ``protocol-timeouts``     every protocol receive is bounded by a socket
                           timeout / timeout handler, or carries a
                           ``blocking-ok:`` justification
+``stats-coverage``        every ``ControllerStats``/``ChipStats`` field
+                          is exported through the obs metrics tables,
+                          and no table entry is stale
 ========================  ==============================================
 
 Run ``repro lint`` (or ``python -m repro.cli lint``); see README
@@ -38,6 +41,7 @@ from repro.lint import (
     protocol_dispatch,
     protocol_timeouts,
     slots,
+    stats_coverage,
     timing_coverage,
 )
 from repro.lint.core import (  # noqa: F401  (re-exported API)
@@ -58,6 +62,7 @@ CHECKERS = {
         slots,
         protocol_dispatch,
         protocol_timeouts,
+        stats_coverage,
     )
 }
 

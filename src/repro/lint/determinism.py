@@ -42,6 +42,9 @@ SCOPE_FILES = (
     "orchestrator/sweep.py",
     "orchestrator/execute.py",
     "orchestrator/backends/protocol.py",
+    # The sim tracer's exports must be byte-identical across runs and
+    # backends; wall-clock telemetry lives in obs/fleet.py, out of scope.
+    "obs/tracer.py",
 )
 
 WALLCLOCK_TIME_ATTRS = frozenset(

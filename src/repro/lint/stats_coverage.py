@@ -1,0 +1,163 @@
+"""Rule ``stats-coverage``: every stats counter must reach the metrics
+registry.
+
+The observability layer exports :class:`ControllerStats` and
+:class:`ChipStats` through the explicit field→metric tables in
+``obs/metrics.py`` (``CONTROLLER_METRICS`` / ``CHIP_METRICS``).  A
+counter someone adds to a stats dataclass but not to its table would
+silently vanish from fleet telemetry and ``repro status`` — the runtime
+guard (:func:`repro.obs.metrics._record_fields`) only fires when a
+snapshot is actually recorded, so a forgotten field can survive every
+test that doesn't exercise the exporter.  This rule makes the parity a
+static property, in both directions:
+
+* a stats field missing from its metrics table is a finding on the
+  dataclass line that added it;
+* a table key naming no live field is a finding on the table (stale
+  entries misreport zeros forever).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import Finding, LintTree
+
+NAME = "stats-coverage"
+DESCRIPTION = (
+    "every ControllerStats/ChipStats field must be exported through the "
+    "obs metrics tables (and every table entry must name a live field)"
+)
+
+METRICS_FILE = "obs/metrics.py"
+
+#: (stats file, stats dataclass, metrics-table name in METRICS_FILE).
+SURFACES = (
+    ("sim/controller.py", "ControllerStats", "CONTROLLER_METRICS"),
+    ("chip/chip_model.py", "ChipStats", "CHIP_METRICS"),
+)
+
+
+def _dataclass_fields(src, class_name: str) -> dict[str, int] | None:
+    """Annotated field name -> line for ``class_name``; None if absent."""
+    for node in src.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields = {}
+            for item in node.body:
+                if isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    fields[item.target.id] = item.lineno
+            return fields
+    return None
+
+
+def _table_keys(src, table_name: str) -> dict[str, int] | None:
+    """String keys -> line of the module-level dict ``table_name``."""
+    for node in src.tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == table_name:
+                if not isinstance(value, ast.Dict):
+                    return {}
+                keys = {}
+                for key in value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        keys[key.value] = key.lineno
+                return keys
+    return None
+
+
+def check(tree: LintTree) -> list[Finding]:
+    findings: list[Finding] = []
+    metrics_src = tree.get(METRICS_FILE)
+    for stats_file, class_name, table_name in SURFACES:
+        src = tree.get(stats_file)
+        if src is None:
+            continue  # fixture trees may carry only one surface
+        fields = _dataclass_fields(src, class_name)
+        if fields is None:
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=stats_file,
+                    line=1,
+                    symbol=class_name,
+                    message=f"class {class_name} not found",
+                )
+            )
+            continue
+        if metrics_src is None:
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=stats_file,
+                    line=1,
+                    symbol=class_name,
+                    message=(
+                        f"{class_name} has no metrics export: {METRICS_FILE} "
+                        f"(defining {table_name}) is missing from the tree"
+                    ),
+                )
+            )
+            continue
+        keys = _table_keys(metrics_src, table_name)
+        if keys is None:
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=METRICS_FILE,
+                    line=1,
+                    symbol=table_name,
+                    message=(
+                        f"metrics table {table_name} not found, so "
+                        f"{class_name} fields are not exported to the "
+                        "metrics registry"
+                    ),
+                )
+            )
+            continue
+        for name, line in sorted(fields.items()):
+            if name in keys:
+                continue
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=stats_file,
+                    line=line,
+                    symbol=f"{class_name}.{name}",
+                    message=(
+                        f"{class_name}.{name} is missing from "
+                        f"{METRICS_FILE}:{table_name} — the counter would "
+                        "silently vanish from fleet telemetry; add a "
+                        "(metric name, help) entry for it"
+                    ),
+                )
+            )
+        for key, line in sorted(keys.items()):
+            if key in fields:
+                continue
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=METRICS_FILE,
+                    line=line,
+                    symbol=f"{table_name}[{key!r}]",
+                    message=(
+                        f"{table_name} entry {key!r} names no "
+                        f"{class_name} field — stale entries report "
+                        "zeros forever; delete or rename it"
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,69 @@
+"""Observability: deterministic sim tracing, fleet metrics, phase profiling.
+
+Three surfaces, all strictly zero-cost when disarmed (the same
+discipline as :mod:`repro.orchestrator.faults`): a disarmed run executes
+the exact instruction stream of an uninstrumented one, so kernel goldens
+and the chaos suite stay bit-identical and the events/sec floor holds.
+
+- :mod:`repro.obs.tracer` — the deterministic cycle-stamped simulation
+  tracer: command issues, refresh-engine decisions, and stall-reason
+  attribution in a bounded ring buffer, exported as Chrome trace-event
+  JSON with exact aggregate summaries.  Armed traces are byte-identical
+  across re-runs and across execution backends (timestamps are simulated
+  cycles, never wall clock).
+- :mod:`repro.obs.metrics` — labeled counters/gauges/histograms plus the
+  explicit ``ControllerStats``/``ChipStats`` export maps that the
+  ``stats-coverage`` lint rule enforces completeness of.
+- :mod:`repro.obs.fleet` — fleet telemetry: job lifecycle counters,
+  worker heartbeat ages, and journal-derived progress, snapshotted
+  atomically to the status file behind ``repro status``.
+- :mod:`repro.obs.profiler` — the kernel phase profiler behind
+  ``repro perf --profile`` (schedule pass, ``next_event``, refresh
+  engines, trace refill, bus gating).
+"""
+
+from repro.obs.fleet import FleetStatus, journal_progress, load_status, render_status
+from repro.obs.metrics import (
+    CHIP_METRICS,
+    CONTROLLER_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics_from_result,
+    record_chip_stats,
+    record_controller_stats,
+)
+from repro.obs.profiler import PhaseProfiler, profile_workload
+from repro.obs.tracer import (
+    DECISION_KINDS,
+    STALL_REASONS,
+    SimTracer,
+    attach_tracers,
+    trace_json,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "CHIP_METRICS",
+    "CONTROLLER_METRICS",
+    "Counter",
+    "DECISION_KINDS",
+    "FleetStatus",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "STALL_REASONS",
+    "SimTracer",
+    "attach_tracers",
+    "journal_progress",
+    "load_status",
+    "metrics_from_result",
+    "profile_workload",
+    "record_chip_stats",
+    "record_controller_stats",
+    "render_status",
+    "trace_json",
+    "validate_chrome_trace",
+]

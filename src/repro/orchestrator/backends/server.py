@@ -163,13 +163,37 @@ class JobServer:
         self._live_workers = 0
         #: Jobs currently on a worker: id(job) -> (job, started, label).
         self._inflight: dict[int, tuple[_Job, float, str]] = {}
-        #: Telemetry: speculative re-dispatches and quarantine trips.
+        #: Telemetry: speculative re-dispatches, quarantine trips, retries.
         self.speculated = 0
         self.quarantined_total = 0
+        self.retried = 0
+        #: Optional fleet-status sink (:class:`repro.obs.fleet.FleetStatus`):
+        #: when set, job lifecycle and worker events are mirrored to it.
+        #: Telemetry must never break the sweep, so every call is guarded.
+        self.status = None
         self._failures: dict[str, list[float]] = {}
         self._quarantine_until: dict[str, float] = {}
         self._acceptor = threading.Thread(target=self._accept_loop, daemon=True)
         self._acceptor.start()
+
+    def _status_event(self, method: str, *args) -> None:
+        """Mirror one event to the attached fleet-status sink, if any."""
+        status = self.status
+        if status is None:
+            return
+        try:
+            getattr(status, method)(*args)
+        except Exception:
+            pass  # status snapshots are best-effort observability
+
+    def telemetry(self) -> dict:
+        """The server's hidden counters, surfaced for ``--json-out``."""
+        return {
+            "workers_seen": self.workers_seen,
+            "speculated": self.speculated,
+            "retries": self.retried,
+            "quarantined": self.quarantined_total,
+        }
 
     # ------------------------------------------------------------------
     # Serving
@@ -263,6 +287,7 @@ class JobServer:
                 job.speculated = True
                 self.speculated += 1
         for job in overdue:
+            self._status_event("job_speculated", str(job.index))
             clone = _Job(job.index, job.payload)
             clone.attempts = job.attempts
             clone.speculated = True  # one speculative copy per job
@@ -277,6 +302,7 @@ class JobServer:
     # ------------------------------------------------------------------
     def _note_failure(self, label: str) -> None:
         now = time.monotonic()
+        tripped = False
         with self._lock:
             window = self._failures.setdefault(label, [])
             window.append(now)
@@ -289,6 +315,7 @@ class JobServer:
             ):
                 self._quarantine_until[label] = now + self.quarantine_cooldown
                 self.quarantined_total += 1
+                tripped = True
                 window.clear()
                 self._log(
                     f"worker {label!r} quarantined for "
@@ -296,6 +323,8 @@ class JobServer:
                     f"{self.quarantine_threshold} failures in "
                     f"{self.quarantine_window:.0f}s"
                 )
+        if tripped:
+            self._status_event("worker_quarantined", label)
 
     def _is_quarantined(self, label: str) -> bool:
         with self._lock:
@@ -356,6 +385,7 @@ class JobServer:
                 self.workers_seen += 1
                 self._live_workers += 1
             registered = True
+            self._status_event("worker_seen", label)
             self._deal_jobs(conn, label)
         except (OSError, ValueError):
             pass  # connection-level failure: any in-flight job was re-queued
@@ -395,6 +425,7 @@ class JobServer:
                 self._inflight[id(job)] = (job, now, label)
             try:
                 send_msg(conn, {"type": "job", "id": job.index, "point": job.payload})
+                self._status_event("job_dispatched", str(job.index), label)
                 finished = self._await_result(conn, job, label)
             except (OSError, ValueError):
                 self._requeue(job, label, "connection lost")
@@ -425,6 +456,7 @@ class JobServer:
                 return False
             kind = message.get("type")
             if kind == "heartbeat":
+                self._status_event("worker_heartbeat", label)
                 continue
             if kind == "result" and message.get("id") == job.index:
                 self._record(job.index, result_from_dict(message["result"]))
@@ -454,6 +486,9 @@ class JobServer:
                 return  # completed elsewhere in the meantime
         self._note_failure(label)
         job.attempts += 1
+        with self._lock:
+            self.retried += 1
+        self._status_event("job_retried", str(job.index), job.attempts)
         if job.attempts > self.max_retries:
             self._fail(
                 f"point {job.index} failed {job.attempts} times "
@@ -547,6 +582,12 @@ class SocketBackend(ExecutionBackend):
     @property
     def parallelism(self) -> int:  # type: ignore[override]
         return max(1, self.server.workers_seen)
+
+    def telemetry(self) -> dict:
+        """Server counters plus the backend's degradation flag."""
+        data = self.server.telemetry()
+        data["degraded"] = self.degraded
+        return data
 
     def run_jobs(self, jobs: Jobs) -> Iterable[tuple[int, SimResult]]:
         jobs = list(jobs)

@@ -5,23 +5,57 @@ execution backends and the ``repro worker`` daemon can import it without
 pulling in the runner — the runner imports the backends, not vice versa.
 The function must stay module-level and picklable: the local pool backend
 ships it to forked/spawned worker processes.
+
+Tracing: when ``REPRO_TRACE_DIR`` is set, every executed point arms one
+:class:`~repro.obs.tracer.SimTracer` per controller and writes the
+canonical Chrome trace-event JSON to
+``<dir>/<sweep>-<key16>-ch<channel>.trace.json``.  The environment
+variable travels to every backend — serial runs in-process, the local
+pool forks the environment, and ``spawn_local_worker`` copies it — so
+the same sweep traced through any backend produces byte-identical files
+(timestamps are simulated cycles; the content-addressed point key names
+the file).
 """
 
 from __future__ import annotations
 
+import os
+
 from repro.orchestrator.sweep import SweepPoint
 from repro.sim.system import SimResult, System
+
+#: Environment switch arming per-point tracing (a directory path).
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+
+def _write_traces(system: System, point: SweepPoint, trace_dir: str) -> None:
+    from repro.obs.tracer import trace_json
+    from repro.orchestrator.atomicio import atomic_write_text
+
+    os.makedirs(trace_dir, exist_ok=True)
+    prefix = f"{point.sweep}-{point.key[:16]}"
+    for mc in system.controllers:
+        tracer = mc.tracer
+        path = os.path.join(trace_dir, f"{prefix}-ch{mc.channel_id}.trace.json")
+        atomic_write_text(path, trace_json(tracer.export()))
 
 
 def execute_point(point: SweepPoint) -> SimResult:
     """Run one sweep point to completion (the worker-side entry point)."""
+    trace_dir = os.environ.get(TRACE_DIR_ENV)
     system = System(
         point.config,
         list(point.profiles),
         seed=point.seed,
         instr_budget=point.instr_budget,
     )
+    if trace_dir:
+        from repro.obs.tracer import attach_tracers
+
+        attach_tracers(system)
     result = system.run(max_cycles=point.max_cycles)
+    if trace_dir:
+        _write_traces(system, point, trace_dir)
     result.meta["sweep"] = point.sweep
     result.meta["coords"] = dict(point.coords)
     result.meta["seed"] = point.seed

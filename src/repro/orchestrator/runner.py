@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.orchestrator.backends import ExecutionBackend, make_backend
 from repro.orchestrator.cache import ResultCache
@@ -30,6 +30,9 @@ from repro.orchestrator.journal import SweepJournal
 from repro.orchestrator.pool import default_workers
 from repro.orchestrator.sweep import Sweep, SweepPoint
 from repro.sim.system import SimResult
+
+if TYPE_CHECKING:  # imported lazily at runtime: obs depends on orchestrator
+    from repro.obs.fleet import FleetStatus
 
 
 @dataclass
@@ -111,6 +114,9 @@ class SweepResult:
     #: vs dispatched to the backend (reused + computed == len(points)).
     reused: int = 0
     computed: int = field(default=-1)
+    #: Backend-reported counters (socket server: workers_seen, retries,
+    #: speculated, quarantined, degraded).  Empty for serial/local runs.
+    telemetry: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.computed < 0:
@@ -148,6 +154,7 @@ def run_sweep(
     backend: str | ExecutionBackend | None = None,
     plan: SweepPlan | None = None,
     journal: SweepJournal | str | Path | None = None,
+    status: "FleetStatus | None" = None,
 ) -> SweepResult:
     """Execute every point of ``sweep``, reusing the store when possible.
 
@@ -165,6 +172,11 @@ def run_sweep(
     interrupted sweep keeps all completed points, and re-running it (the
     CLI's ``--resume``) replays them from the store and computes only the
     remainder.
+
+    ``status`` (a :class:`~repro.obs.fleet.FleetStatus`) mirrors the run
+    to a live status file: the sweep lifecycle and per-point completions
+    are reported here for every backend, and a socket backend's server
+    additionally reports per-worker events through the same sink.
     """
     start = time.perf_counter()
     if workers is None:
@@ -193,11 +205,21 @@ def run_sweep(
             reused=plan.reused,
         )
 
+    if status is not None:
+        status.sweep_started(
+            sweep.name, len(plan.points), plan.reused, len(todo), workers
+        )
+
+    telemetry: dict = {}
     backend_name = backend if isinstance(backend, str) else None
     try:
         if todo:
             bk, owned = make_backend(backend, workers)
             backend_name = bk.name
+            if status is not None:
+                server = getattr(bk, "server", None)
+                if server is not None:
+                    server.status = status
             try:
                 jobs = [(i, plan.points[i]) for i in todo]
                 for index, result in bk.run_jobs(jobs):
@@ -212,11 +234,16 @@ def run_sweep(
                         )
                     if journal is not None:
                         journal.record_done(index, plan.keys[index])
+                    if status is not None:
+                        status.point_done(plan.points[index].label)
             finally:
                 if owned:
                     bk.close()
             if getattr(bk, "degraded", False):
                 backend_name = f"{bk.name}+local-fallback"
+            report = getattr(bk, "telemetry", None)
+            if report is not None:
+                telemetry = report()
             missing = [i for i in todo if results[i] is None]
             if missing:
                 raise RuntimeError(
@@ -239,6 +266,9 @@ def run_sweep(
         cache_hits, cache_misses = cache.hits - hits_before, cache.misses - misses_before
     else:
         cache_hits, cache_misses = 0, len(todo)
+    elapsed_s = time.perf_counter() - start
+    if status is not None:
+        status.sweep_finished(backend_name or "local", elapsed_s)
     return SweepResult(
         sweep=sweep,
         points=plan.points,
@@ -246,8 +276,9 @@ def run_sweep(
         cache_hits=cache_hits,
         cache_misses=cache_misses,
         workers=workers,
-        elapsed_s=time.perf_counter() - start,
+        elapsed_s=elapsed_s,
         backend=backend_name,
         reused=plan.reused,
         computed=plan.computed,
+        telemetry=telemetry,
     )

@@ -93,8 +93,46 @@ def measure_workload(
     return row
 
 
-def measure_kernel(instr_budget: int = 100_000, reps: int = 3) -> dict:
+def profile_kernel(instr_budget: int = 100_000) -> dict:
+    """Phase-attributed wall time for every tracked workload.
+
+    One extra (instrumented) run per workload — never the timed run, so
+    probe overhead cannot contaminate the tracked events/sec numbers.
+    Per-workload reports come from :func:`repro.obs.profiler.profile_workload`;
+    the ``phases`` entry aggregates exclusive seconds and call counts
+    across all workloads.
+    """
+    from repro.obs.profiler import PHASES, profile_workload
+
+    per_workload = {}
+    for name, overrides in KERNEL_WORKLOADS:
+        per_workload[name] = profile_workload(overrides, instr_budget=instr_budget)
+    totals = {name: {"seconds": 0.0, "calls": 0} for name in PHASES}
+    wall = other = 0.0
+    for report in per_workload.values():
+        wall += report["wall_s"]
+        other += report["other_s"]
+        for phase, row in report["phases"].items():
+            totals[phase]["seconds"] += row["seconds"]
+            totals[phase]["calls"] += row["calls"]
+    for row in totals.values():
+        row["seconds"] = round(row["seconds"], 4)
+        row["share"] = round(row["seconds"] / wall, 4) if wall else 0.0
+    return {
+        "wall_s": round(wall, 4),
+        "other_s": round(other, 4),
+        "other_share": round(other / wall, 4) if wall else 0.0,
+        "phases": totals,
+        "workloads": per_workload,
+    }
+
+
+def measure_kernel(
+    instr_budget: int = 100_000, reps: int = 3, profile: bool = False
+) -> dict:
     """Measure every tracked workload and assemble the bench payload."""
+    import os
+
     from repro.orchestrator.pool import available_cores
 
     workloads = {}
@@ -107,13 +145,18 @@ def measure_kernel(instr_budget: int = 100_000, reps: int = 3) -> dict:
     ref_total = sum(
         row["pre_pr_wall_s"] for row in workloads.values() if "pre_pr_wall_s" in row
     )
+    # ``cpus`` is the schedulable count (cgroup/affinity-aware): wall
+    # times depend on what this process may actually use, not on how
+    # many cores the host advertises.
     cpus = available_cores()
-    return {
+    payload = {
         "schema": 1,
         "machine": {
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cpus": cpus,
+            "cpus_effective": cpus,
+            "cpus_total": os.cpu_count() or cpus,
         },
         "instr_budget": instr_budget,
         "reps": reps,
@@ -132,6 +175,9 @@ def measure_kernel(instr_budget: int = 100_000, reps: int = 3) -> dict:
             ),
         },
     }
+    if profile:
+        payload["profile"] = profile_kernel(instr_budget=instr_budget)
+    return payload
 
 
 def write_bench(payload: dict, path: str | Path) -> Path:

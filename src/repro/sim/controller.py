@@ -229,15 +229,18 @@ class BaselineRefreshEngine(RefreshEngine):
         """Commit due banks to draining: demand to them is deferred so a
         hot row-hit stream cannot keep the bank open past its REFsb."""
         heap = self._sb_heap
+        mc = self.mc
         promoted = False
         while heap and heap[0][0] <= now:
-            __, rank_id, bank_id = heapq.heappop(heap)
+            due, rank_id, bank_id = heapq.heappop(heap)
             key = (rank_id, bank_id)
             self._sb_draining.add(key)
-            self.mc.blocked_banks.add(key)
+            mc.blocked_banks.add(key)
             promoted = True
+            if mc.tracer is not None:
+                mc.tracer.on_decision("sb-promote", now, rank_id, bank_id, due)
         if promoted:
-            self.mc.mark_dirty()
+            mc.mark_dirty()
 
     def _sb_account(self, key: tuple[int, int], now: int, due: int) -> None:
         """Postponement bookkeeping hook (elastic overrides)."""
@@ -430,6 +433,10 @@ class MemoryController:
         #: Optional :class:`repro.sim.audit.CommandAuditor` observing the
         #: logical command stream (attach via ``CommandAuditor(mc)``).
         self.auditor = None
+        #: Optional :class:`repro.obs.tracer.SimTracer` recording the
+        #: deterministic cycle-stamped event stream (attach via
+        #: ``SimTracer(mc)``); pure observation, like the auditor.
+        self.tracer = None
         self.engine = engine
         engine.attach(self)
 
@@ -576,6 +583,8 @@ class MemoryController:
         self.stats.pres += 1
         if self.auditor is not None:
             self.auditor.on_pre(now, rank, bank_id)
+        if self.tracer is not None:
+            self.tracer.on_pre(now, rank, bank_id)
 
     def issue_act(self, rank: int, bank_id: int, row: int, now: int) -> None:
         bank = self.bank(rank, bank_id)
@@ -590,6 +599,8 @@ class MemoryController:
         self.stats.row_misses += 1
         if self.auditor is not None:
             self.auditor.on_act(now, rank, bank_id, row)
+        if self.tracer is not None:
+            self.tracer.on_act(now, rank, bank_id, row)
 
     def issue_hira_act(self, rank: int, bank_id: int, refresh_row: int, target_row: int, now: int) -> None:
         """ACT(refresh_row), PRE, ACT(target_row): refresh-access HiRA.
@@ -615,6 +626,8 @@ class MemoryController:
         self.stats.hira_access_parallelized += 1
         if self.auditor is not None:
             self.auditor.on_hira_op(now, rank, bank_id, refresh_row, target_row, eff)
+        if self.tracer is not None:
+            self.tracer.on_hira_op(now, rank, bank_id, refresh_row, target_row, eff)
 
     def issue_hira_refresh_pair(self, rank: int, bank_id: int, now: int) -> None:
         """Refresh two rows with one HiRA operation (refresh-refresh).
@@ -641,6 +654,10 @@ class MemoryController:
             self.auditor.on_hira_op(
                 now, rank, bank_id, None, None, now + self.hira_gap_c, close=close
             )
+        if self.tracer is not None:
+            self.tracer.on_hira_op(
+                now, rank, bank_id, None, None, now + self.hira_gap_c, close=close
+            )
 
     def issue_solo_refresh(self, rank: int, bank_id: int, now: int) -> None:
         """Refresh one row with a nominal ACT + PRE pair."""
@@ -660,6 +677,8 @@ class MemoryController:
         self.stats.solo_refreshes += 1
         if self.auditor is not None:
             self.auditor.on_solo_refresh(now, rank, bank_id, close)
+        if self.tracer is not None:
+            self.tracer.on_solo_refresh(now, rank, bank_id, close)
 
     def issue_ref(self, rank_id: int, now: int) -> None:
         """Rank-level REF: the whole rank is unavailable for tRFC."""
@@ -676,6 +695,8 @@ class MemoryController:
         self.stats.refs += 1
         if self.auditor is not None:
             self.auditor.on_ref(now, rank_id)
+        if self.tracer is not None:
+            self.tracer.on_ref(now, rank_id)
 
     def issue_refsb(self, rank_id: int, bank_id: int, now: int) -> None:
         """DDR5-style same-bank refresh: one bank unavailable for tRFC_sb.
@@ -697,6 +718,8 @@ class MemoryController:
         self.stats.refs_sb += 1
         if self.auditor is not None:
             self.auditor.on_refsb(now, rank_id, bank_id)
+        if self.tracer is not None:
+            self.tracer.on_refsb(now, rank_id, bank_id)
 
     # ------------------------------------------------------------------
     # Request intake
@@ -737,6 +760,8 @@ class MemoryController:
     def schedule(self, now: int) -> bool:
         """Try to issue one command at cycle ``now``; True if issued."""
         if now < self.bus_next:
+            if self.tracer is not None:
+                self.tracer.on_stall(now)
             return False
         # Deferred closing PREs of refresh operations take precedence.
         # The heap keeps the earliest close on top; a due close consumes
@@ -752,6 +777,8 @@ class MemoryController:
         for queue in self._active_queues():
             if self._schedule_queue(queue, now):
                 return True
+        if self.tracer is not None:
+            self.tracer.on_stall(now)
         return False
 
     def _schedule_queue(self, queue: list[Request], now: int) -> bool:
@@ -875,6 +902,8 @@ class MemoryController:
         self.stats.row_hits += 1
         if self.auditor is not None:
             self.auditor.on_col(now, rank, bank_id, req.is_write)
+        if self.tracer is not None:
+            self.tracer.on_col(now, rank, bank_id, req.is_write)
 
     # ------------------------------------------------------------------
     def next_event(self, now: int) -> int:

@@ -88,6 +88,8 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
                 self._sb_draining.add(key)
                 mc.blocked_banks.add(key)
                 promoted = True
+                if mc.tracer is not None:
+                    mc.tracer.on_decision("sb-promote", now, key[0], key[1], forced)
         if promoted:
             self._sb_forced_min = min(deferred.values(), default=_FAR_FUTURE)
             mc.mark_dirty()
@@ -95,6 +97,8 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
     def _sb_account(self, key: tuple[int, int], now: int, due: int) -> None:
         missed = max(0, (now - due) // self.mc.trefi_c)
         self._sb_debt[key] = max(0, self._sb_debt[key] + missed - 1)
+        if missed and self.mc.tracer is not None:
+            self.mc.tracer.on_decision("postpone", now, key[0], key[1], missed)
 
     def _sb_next_deadline(self, now: int) -> int:
         soonest = self._sb_drain_wake(now, self._preventive_deadline(now))
@@ -161,6 +165,8 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
             mc.issue_ref(rank_id, now)
             missed = max(0, (now - rank.ref_due) // mc.trefi_c)
             self._debt[rank_id] = max(0, self._debt[rank_id] + missed - 1)
+            if missed and mc.tracer is not None:
+                mc.tracer.on_decision("postpone", now, rank_id, -1, missed)
             rank.ref_due += mc.trefi_c
             return True
         return False

@@ -266,6 +266,9 @@ class System:
         end_cycle = max(
             (core.finish_cycle or cycle for core in cores), default=cycle
         )
+        for mc in mcs:
+            if mc.tracer is not None:
+                mc.tracer.on_run_end(end_cycle)
         ipcs = [core.ipc(core.finish_cycle) if core.done else core.ipc(end_cycle) for core in cores]
         alone = [
             alone_ipc_estimate(p.mpki, self.config.instr_per_mc_cycle)

@@ -1,0 +1,8 @@
+"""Fixture: chip stats are covered; the planted gaps are controller-side."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ChipStats:
+    acts: int = 0

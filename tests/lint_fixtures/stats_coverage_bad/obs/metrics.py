@@ -1,0 +1,10 @@
+"""Fixture: ``acts`` is missing and ``row_hits`` is stale (two plants)."""
+
+CONTROLLER_METRICS = {
+    "reads_served": ("sim_reads_served_total", "Reads served"),
+    "row_hits": ("sim_row_hits_total", "stale: names no live field"),
+}
+
+CHIP_METRICS = {
+    "acts": ("chip_acts_total", "ACTs applied by the chip model"),
+}

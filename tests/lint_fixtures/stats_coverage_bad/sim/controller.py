@@ -1,0 +1,9 @@
+"""Fixture: ``acts`` never reaches the metrics table (planted gap)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class ControllerStats:
+    reads_served: int = 0
+    acts: int = 0

@@ -1,0 +1,8 @@
+"""Fixture: chip stats dataclass fully mirrored by the metrics table."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ChipStats:
+    acts: int = 0

@@ -1,0 +1,10 @@
+"""Fixture: both metrics tables cover every stats field exactly."""
+
+CONTROLLER_METRICS = {
+    "reads_served": ("sim_reads_served_total", "Reads served"),
+    "acts": ("sim_acts_total", "ACT commands issued"),
+}
+
+CHIP_METRICS = {
+    "acts": ("chip_acts_total", "ACTs applied by the chip model"),
+}

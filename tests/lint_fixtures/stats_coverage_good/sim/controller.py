@@ -1,0 +1,9 @@
+"""Fixture: stats dataclass fully mirrored by the metrics table."""
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class ControllerStats:
+    reads_served: int = 0
+    acts: int = 0

@@ -28,6 +28,7 @@ CASES = [
     ("determinism", "determinism_bad", "determinism_good"),
     ("slots", "slots_bad", "slots_good"),
     ("protocol-dispatch", "protocol_bad", "protocol_good"),
+    ("stats-coverage", "stats_coverage_bad", "stats_coverage_good"),
 ]
 
 
@@ -69,6 +70,16 @@ def test_timing_coverage_flags_all_three_surfaces():
     assert any("controller gating" in m for m in messages)
     assert any("auditor check" in m for m in messages)
     assert any("oracle rule generation" in m for m in messages)
+
+
+def test_stats_coverage_flags_both_directions():
+    result = _run(FIXTURES / "stats_coverage_bad", ["stats-coverage"])
+    symbols = {f.symbol for f in result.findings}
+    # Missing export is anchored to the dataclass, stale entry to the table.
+    assert symbols == {"ControllerStats.acts", "CONTROLLER_METRICS['row_hits']"}
+    by_symbol = {f.symbol: f for f in result.findings}
+    assert by_symbol["ControllerStats.acts"].path == "sim/controller.py"
+    assert by_symbol["CONTROLLER_METRICS['row_hits']"].path == "obs/metrics.py"
 
 
 def test_protocol_dispatch_names_missing_arm():

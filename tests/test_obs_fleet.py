@@ -1,0 +1,208 @@
+"""Fleet telemetry: FleetStatus lifecycle, status files, `repro status`.
+
+The contract: lifecycle events fold into deterministic job counts, the
+status file is written atomically and round-trips through
+:func:`load_status`, heartbeat chatter is rate-limited while lifecycle
+edges force a write, a ``None`` path makes every write a no-op, and the
+``repro status`` subcommand renders both the snapshot and the journal
+progress.  Telemetry must never break a sweep, so the unwritable-path
+case is exercised too.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.fleet import (
+    FleetStatus,
+    JOB_EVENTS,
+    journal_progress,
+    load_status,
+    render_status,
+)
+
+
+def _drive(status: FleetStatus) -> None:
+    """A representative sweep: 3 jobs, one retry, one quarantine."""
+    status.sweep_started("demo", points=5, reused=2, todo=3, workers=2)
+    status.worker_seen("w1")
+    status.worker_seen("w2")
+    for index in range(3):
+        status.job_dispatched(str(index), "w1")
+    status.worker_heartbeat("w1")
+    status.job_retried("1", attempts=2)
+    status.job_speculated("2")
+    status.worker_quarantined("w2")
+    for label in ("p0", "p1", "p2"):
+        status.point_done(label)
+    status.sweep_finished("socket", 1.25)
+
+
+def test_lifecycle_folds_into_job_counts(tmp_path):
+    status = FleetStatus(tmp_path / "status.json")
+    _drive(status)
+    assert status.job_counts() == {
+        "queued": 3,
+        "dispatched": 3,
+        "retried": 1,
+        "speculated": 1,
+        "quarantined": 1,
+        "done": 3,
+    }
+    assert tuple(status.job_counts()) == JOB_EVENTS
+
+
+def test_snapshot_round_trips_through_status_file(tmp_path):
+    path = tmp_path / "status.json"
+    status = FleetStatus(path)
+    _drive(status)
+    loaded = load_status(path)
+    assert loaded is not None
+    assert loaded["kind"] == "repro-fleet-status"
+    assert loaded["sweep"]["name"] == "demo"
+    assert loaded["sweep"]["state"] == "finished"
+    assert loaded["sweep"]["done"] == 3
+    assert loaded["backend"] == "socket"
+    assert loaded["jobs"] == status.job_counts()
+    assert set(loaded["workers"]) == {"w1", "w2"}
+    assert loaded["workers"]["w1"]["age_s"] >= 0
+    assert loaded["quarantined"] == ["w2"]
+    assert "fleet_jobs_total" in loaded["metrics"]
+
+
+def test_none_path_is_a_no_op(tmp_path):
+    status = FleetStatus(None)
+    _drive(status)  # must not raise, must not write anywhere
+    assert status.job_counts()["done"] == 3
+    assert not list(tmp_path.iterdir())
+
+
+def test_unwritable_path_never_raises(tmp_path):
+    # Telemetry is best-effort: a doomed status path must not break the
+    # producer (run_sweep / JobServer call these mid-dispatch).
+    doomed = tmp_path / "not-a-dir"
+    doomed.write_text("plain file, not a directory")
+    status = FleetStatus(doomed / "status.json")
+    _drive(status)
+    assert status.job_counts()["done"] == 3
+
+
+def test_heartbeats_are_rate_limited_but_edges_force_writes(tmp_path):
+    path = tmp_path / "status.json"
+    status = FleetStatus(path, min_interval_s=3600)
+    status.sweep_started("demo", points=1, reused=0, todo=1, workers=1)
+    first = path.read_bytes()
+    # Heartbeat chatter inside the interval is coalesced away.
+    for __ in range(50):
+        status.worker_heartbeat("w1")
+    assert path.read_bytes() == first
+    # A lifecycle edge forces the write regardless of the interval.
+    status.sweep_finished("serial", 0.5)
+    assert json.loads(path.read_text())["sweep"]["state"] == "finished"
+
+
+def test_load_status_absent_or_corrupt(tmp_path):
+    assert load_status(tmp_path / "missing.json") is None
+    bad = tmp_path / "torn.json"
+    bad.write_text('{"kind": "repro-fleet-st')
+    assert load_status(bad) is None
+
+
+def test_render_status_mentions_everything(tmp_path):
+    path = tmp_path / "status.json"
+    status = FleetStatus(path)
+    _drive(status)
+    text = render_status(load_status(path), [])
+    assert "sweep demo: finished" in text
+    assert "backend: socket" in text
+    assert "retried 1" in text and "quarantined 1" in text
+    assert "w1" in text and "w2" in text
+    assert "quarantined: w2" in text
+    assert render_status(None, []) == "no status snapshot found"
+
+
+def test_journal_progress_reads_the_store(tmp_path):
+    from repro.orchestrator.journal import SweepJournal
+
+    journal_dir = tmp_path / "journals"
+    journal_dir.mkdir()
+    with SweepJournal(journal_dir / "demo.jsonl") as journal:
+        journal.begin("demo", points=2, fingerprint="f" * 8)
+        journal.record_done(0, "k0")
+    states = journal_progress(tmp_path)
+    assert len(states) == 1
+    assert states[0].done == 1
+    assert "interrupted" in states[0].describe()
+    assert journal_progress(tmp_path / "nowhere") == []
+    text = render_status(None, states)
+    assert "journals:" in text and "demo" in text
+
+
+# ----------------------------------------------------------------------
+# End to end: sweep --status-file, then the `repro status` subcommand
+# ----------------------------------------------------------------------
+def _run_cli(argv, capsys) -> tuple[int, str]:
+    from repro.cli import main
+
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+def test_status_cli_end_to_end(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code, out = _run_cli(
+        [
+            "sweep", "--name", "fleet-e2e", "--modes", "baseline",
+            "--mixes", "1", "--instructions", "2000", "--backend", "serial",
+            "--cache-dir", str(tmp_path / "store"),
+            "--status-file", str(tmp_path / "status.json"),
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert "status file:" in out
+
+    code, out = _run_cli(
+        [
+            "status", "--status-file", str(tmp_path / "status.json"),
+            "--store", str(tmp_path / "store"),
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert "sweep fleet-e2e: finished" in out
+    assert "jobs:" in out
+    assert "journals:" in out and "complete" in out
+
+
+def test_status_cli_exits_nonzero_when_nothing_to_report(tmp_path, capsys):
+    code, out = _run_cli(
+        [
+            "status", "--status-file", str(tmp_path / "missing.json"),
+            "--store", str(tmp_path / "missing-store"),
+        ],
+        capsys,
+    )
+    assert code == 1
+    assert "no status snapshot found" in out
+
+
+def test_sweep_json_out_carries_telemetry_and_fleet(tmp_path, capsys):
+    out_path = tmp_path / "sweep.json"
+    code, __ = _run_cli(
+        [
+            "sweep", "--name", "fleet-json", "--modes", "baseline",
+            "--mixes", "1", "--instructions", "2000", "--backend", "serial",
+            "--cache-dir", str(tmp_path / "store"),
+            "--status-file", str(tmp_path / "status.json"),
+            "--json-out", str(out_path),
+        ],
+        capsys,
+    )
+    assert code == 0
+    payload = json.loads(out_path.read_text())
+    assert "telemetry" in payload
+    assert payload["fleet"]["done"] == 1
+    assert payload["elapsed_s"] >= 0

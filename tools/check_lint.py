@@ -115,6 +115,19 @@ def _mutate_timeouts(tree: Path) -> None:
     )
 
 
+def _mutate_stats_coverage(tree: Path) -> None:
+    """Drop a ControllerStats counter from the metrics export table."""
+    path = tree / "obs" / "metrics.py"
+    text = path.read_text(encoding="utf-8")
+    anchor = '"row_hits": '
+    assert anchor in text, "CONTROLLER_METRICS row_hits entry not found"
+    lines = [
+        line for line in text.splitlines(keepends=True)
+        if anchor not in line
+    ]
+    path.write_text("".join(lines), encoding="utf-8")
+
+
 MUTATIONS = (
     ("dirty-flag", _mutate_dirty_flag),
     ("timing-coverage", _mutate_timing),
@@ -122,6 +135,7 @@ MUTATIONS = (
     ("slots", _mutate_slots),
     ("protocol-dispatch", _mutate_protocol),
     ("protocol-timeouts", _mutate_timeouts),
+    ("stats-coverage", _mutate_stats_coverage),
 )
 
 

@@ -1,0 +1,320 @@
+"""CI gate for the observability layer (``src/repro/obs``).
+
+Four passes, mirroring ``check_lint.py``'s clean + planted-mutation
+pattern so the gate cannot rot into a vacuous green check:
+
+1. **Traced pass** — armed runs across refresh modes must export valid
+   Chrome trace-event JSON whose command events all cross-check against
+   the independent :class:`~repro.sim.audit.CommandAuditor` log, whose
+   aggregate counters reproduce the ``ControllerStats`` identities, and
+   whose stall attributions are consistent with the audit log: no
+   command was issued on a cycle attributed as stalled, every ``tfaw``
+   stall has four ACTs inside the rank's tFAW window, and every
+   ``ref-busy`` stall sits inside a REF's tRFC busy window.
+2. **Disarmed A/B** — the same seeded run with and without tracers must
+   produce bit-identical results (the tracer is pure observation).
+3. **Determinism** — two independent armed runs must export
+   byte-identical trace files.
+4. **Vacuousness guard** — a planted mutation (the controller's ACT
+   trace hook deleted from a copied tree) must make the traced pass
+   fail; if it doesn't, the cross-checks aren't checking anything.
+
+Usage::
+
+    python tools/check_obs.py               # all four passes
+    python tools/check_obs.py --traced-only # passes 1-3 (the mutation
+                                            # guard re-runs this mode
+                                            # against the mutated tree)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+# Appended (not prepended) so a PYTHONPATH pointing at a mutated tree
+# wins: the vacuousness guard relies on that to re-run this script
+# against the planted mutation.
+sys.path.append(str(Path(__file__).resolve().parent.parent / "src"))
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Armed-run configurations: one per refresh engine family, including a
+#: same-bank granularity so REFSB and the per-bank stall reasons engage.
+CONFIGS = (
+    ("baseline", dict(refresh_mode="baseline")),
+    ("elastic-sb", dict(refresh_mode="elastic", refresh_granularity="same_bank")),
+    ("hira2", dict(refresh_mode="hira", tref_slack_acts=2, para_nrh=64.0)),
+)
+
+INSTR_BUDGET = 6_000
+SEED = 7
+
+
+def _run_system(overrides: dict, *, trace: bool, audit: bool):
+    from repro.obs.tracer import attach_tracers
+    from repro.sim.audit import attach_auditors
+    from repro.sim.config import SystemConfig
+    from repro.sim.system import System
+    from repro.workloads.mixes import mix_for
+
+    config = SystemConfig(**overrides)
+    system = System(
+        config, mix_for(0, cores=config.cores), seed=SEED,
+        instr_budget=INSTR_BUDGET,
+    )
+    tracers = attach_tracers(system) if trace else []
+    auditors = attach_auditors(system) if audit else []
+    result = system.run()
+    return system, tracers, auditors, result
+
+
+def _audit_index(auditor):
+    """(cycle, kind, rank) and (cycle, kind, rank, bank) lookup sets."""
+    by_rank = set()
+    by_bank = set()
+    cycles = set()
+    for rec in auditor.records:
+        by_rank.add((rec.cycle, rec.kind, rec.rank))
+        if rec.bank is not None:
+            by_bank.add((rec.cycle, rec.kind, rec.rank, rec.bank))
+        cycles.add(rec.cycle)
+    return by_rank, by_bank, cycles
+
+
+def _check_commands_against_audit(label, tracer, auditor) -> list[str]:
+    """Every ring-buffer command event must match an audit record."""
+    problems = []
+    by_rank, by_bank, _ = _audit_index(auditor)
+    for cycle, name, cat, args in tracer._events:
+        if cat != "cmd":
+            continue
+        rank = args.get("rank", -1)
+        bank = args.get("bank", -1)
+        if name in ("ACT", "PRE", "RD", "WR", "REFSB"):
+            if (cycle, name, rank, bank) not in by_bank:
+                problems.append(
+                    f"{label}: trace {name}@{cycle} r{rank}b{bank} "
+                    "has no audit record"
+                )
+        elif name == "REF":
+            if (cycle, "REF", rank) not in by_rank:
+                problems.append(
+                    f"{label}: trace REF@{cycle} r{rank} has no audit record"
+                )
+        elif name in ("SOLO_REF", "HIRA_ACT", "HIRA_PAIR"):
+            # The auditor decomposes these into ACT(+PRE) records.
+            if (cycle, "ACT", rank, bank) not in by_bank:
+                problems.append(
+                    f"{label}: trace {name}@{cycle} r{rank}b{bank} "
+                    "has no audit ACT record"
+                )
+        else:
+            problems.append(f"{label}: unknown command event {name!r}")
+    return problems
+
+
+def _check_identities(label, tracer, stats) -> list[str]:
+    """Never-dropped aggregate counters must reproduce ControllerStats."""
+    n = tracer.command_counts
+    problems = []
+    checks = (
+        ("acts",
+         n["ACT"] + 2 * n["HIRA_ACT"] + 2 * n["HIRA_PAIR"] + n["SOLO_REF"],
+         stats.acts),
+        ("refs", n["REF"], stats.refs),
+        ("refs_sb", n["REFSB"], stats.refs_sb),
+        ("reads_served", n["RD"], stats.reads_served),
+        ("writes_served", n["WR"], stats.writes_served),
+        ("solo_refreshes", n["SOLO_REF"], stats.solo_refreshes),
+    )
+    for name, traced, actual in checks:
+        if traced != actual:
+            problems.append(
+                f"{label}: identity {name}: trace says {traced}, "
+                f"ControllerStats says {actual}"
+            )
+    return problems
+
+
+def _check_stalls_against_audit(label, tracer, auditor, mc) -> list[str]:
+    """Stall attributions must be consistent with the audit log."""
+    problems = []
+    records = auditor.records
+    cmd_cycles = {
+        (cycle, name) for cycle, name, cat, __ in tracer._events if cat == "cmd"
+    }
+    cmd_only_cycles = {cycle for cycle, __ in cmd_cycles}
+    acts_by_rank: dict[int, list[int]] = {}
+    refs_by_rank: dict[int, list[int]] = {}
+    for rec in records:
+        if rec.kind == "ACT":
+            acts_by_rank.setdefault(rec.rank, []).append(rec.cycle)
+        elif rec.kind in ("REF", "REFSB"):
+            refs_by_rank.setdefault(rec.rank, []).append(rec.cycle)
+    for cycle, name, cat, args in tracer._events:
+        if cat != "stall":
+            continue
+        if cycle in cmd_only_cycles:
+            problems.append(
+                f"{label}: stall@{cycle} but a command issued that cycle"
+            )
+        if args["until"] <= cycle:
+            problems.append(f"{label}: stall@{cycle} until={args['until']}")
+        reason = args["reason"]
+        rank = args["rank"]
+        if reason == "tfaw":
+            # A HiRA op records its second ACT at ``now + hira_gap_c``,
+            # so at stall time the FAW window can legitimately hold
+            # timestamps slightly in the future.
+            window = [
+                t for t in acts_by_rank.get(rank, ())
+                if cycle - mc.tfaw_c < t <= cycle + mc.hira_gap_c
+            ]
+            if len(window) < 4:
+                problems.append(
+                    f"{label}: tfaw stall@{cycle} r{rank} but only "
+                    f"{len(window)} ACTs in the tFAW window"
+                )
+        elif reason == "ref-busy":
+            covered = any(
+                t <= cycle < t + mc.trfc_c for t in refs_by_rank.get(rank, ())
+            )
+            if not covered:
+                problems.append(
+                    f"{label}: ref-busy stall@{cycle} r{rank} outside any "
+                    "REF's tRFC window"
+                )
+    return problems
+
+
+def check_traced() -> int:
+    from repro.obs.tracer import trace_json, validate_chrome_trace
+
+    failures = 0
+    for label, overrides in CONFIGS:
+        system, tracers, auditors, result = _run_system(
+            overrides, trace=True, audit=True
+        )
+        problems: list[str] = []
+        stall_total = 0
+        for tracer, auditor, mc, stats in zip(
+            tracers, auditors, system.controllers, result.controller_stats
+        ):
+            payload = tracer.export()
+            problems += [
+                f"{label}: schema: {p}" for p in validate_chrome_trace(payload)
+            ]
+            json.loads(trace_json(payload))  # canonical form round-trips
+            problems += _check_commands_against_audit(label, tracer, auditor)
+            problems += _check_identities(label, tracer, stats)
+            problems += _check_stalls_against_audit(label, tracer, auditor, mc)
+            stall_total += sum(tracer.stall_counts.values())
+            if tracer.events_total == 0:
+                problems.append(f"{label}: tracer recorded no events")
+        if stall_total == 0:
+            problems.append(f"{label}: no stalls attributed (vacuous run?)")
+        if problems:
+            failures += 1
+            print(f"traced pass [{label}]: FAIL")
+            for p in problems[:20]:
+                print(f"  {p}")
+        else:
+            events = sum(t.events_total for t in tracers)
+            print(f"traced pass [{label}]: ok ({events} events, "
+                  f"{stall_total} stalls attributed)")
+    return failures
+
+
+def check_disarmed_ab() -> int:
+    from repro.orchestrator import result_to_dict
+
+    failures = 0
+    for label, overrides in CONFIGS:
+        __, __, __, armed = _run_system(overrides, trace=True, audit=False)
+        __, __, __, plain = _run_system(overrides, trace=False, audit=False)
+        a = json.dumps(result_to_dict(armed), sort_keys=True)
+        b = json.dumps(result_to_dict(plain), sort_keys=True)
+        if a == b:
+            print(f"disarmed A/B [{label}]: ok (bit-identical results)")
+        else:
+            failures += 1
+            print(f"disarmed A/B [{label}]: FAIL — tracing changed the result")
+    return failures
+
+
+def check_determinism() -> int:
+    from repro.obs.tracer import trace_json
+
+    failures = 0
+    for label, overrides in CONFIGS:
+        exports = []
+        for __ in range(2):
+            __, tracers, __, __ = _run_system(overrides, trace=True, audit=False)
+            exports.append([trace_json(t.export()) for t in tracers])
+        if exports[0] == exports[1]:
+            print(f"determinism [{label}]: ok (byte-identical re-run)")
+        else:
+            failures += 1
+            print(f"determinism [{label}]: FAIL — trace export not "
+                  "reproducible")
+    return failures
+
+
+def check_mutation() -> int:
+    """Delete the controller's ACT trace hook; the traced pass must fail."""
+    hook = (
+        "        if self.tracer is not None:\n"
+        "            self.tracer.on_act(now, rank, bank_id, row)\n"
+    )
+    with tempfile.TemporaryDirectory(prefix="obsmut-") as tmp:
+        tree = Path(tmp) / "repro"
+        shutil.copytree(SRC, tree, ignore=shutil.ignore_patterns("__pycache__"))
+        path = tree / "sim" / "controller.py"
+        text = path.read_text(encoding="utf-8")
+        if hook not in text:
+            print("mutation pass: FAIL — ACT trace hook not found to remove")
+            return 1
+        path.write_text(text.replace(hook, "", 1), encoding="utf-8")
+        env = dict(os.environ, PYTHONPATH=tmp)
+        proc = subprocess.run(
+            [sys.executable, __file__, "--traced-only"],
+            env=env, capture_output=True, text=True,
+        )
+    if proc.returncode != 0:
+        print("mutation pass: ok (dropped ACT hook detected)")
+        return 0
+    print("mutation pass: FAIL — traced pass did not notice the planted "
+          "mutation:")
+    print(proc.stdout)
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--traced-only", action="store_true",
+                        help="run passes 1-3 only (used by the mutation "
+                             "guard against a planted tree)")
+    args = parser.parse_args(argv)
+
+    failures = check_traced()
+    failures += check_disarmed_ab()
+    failures += check_determinism()
+    if not args.traced_only:
+        failures += check_mutation()
+    if failures:
+        print(f"FAIL: {failures} observability problem(s)")
+        return 1
+    print("OK: traces validate, disarmed runs are bit-identical, exports "
+          "are deterministic")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
