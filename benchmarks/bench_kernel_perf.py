@@ -26,7 +26,7 @@ FLOOR = float(os.environ.get("REPRO_PERF_FLOOR", "0") or "0")
 
 def build_kernel_perf():
     payload = measure_kernel(
-        instr_budget=scale(100_000, 400_000), reps=scale(3, 5)
+        instr_budget=scale(200_000, 400_000), reps=scale(3, 5)
     )
     RESULTS_DIR.mkdir(exist_ok=True)
     write_bench(payload, RESULTS_DIR / "BENCH_kernel.json")

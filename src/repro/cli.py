@@ -687,7 +687,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_security)
 
     p = sub.add_parser("perf", help="measure kernel throughput (events/sec)")
-    p.add_argument("--instructions", type=int, default=100_000)
+    p.add_argument("--instructions", type=int, default=200_000,
+                   help="measured instructions per workload; the default "
+                        "keeps each rep's timed window >= ~1s (matches the "
+                        "pinned pre-opt reference walls)")
     p.add_argument("--reps", type=int, default=3,
                    help="runs per workload; the median wall time is reported")
     p.add_argument("--out", default="BENCH_kernel.json",

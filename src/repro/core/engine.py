@@ -311,9 +311,11 @@ class HiraRefreshEngine(RefreshEngine):
             self._preventive = spilled
             self._struct_dirty = True
             self.mc.mark_dirty()
-        if self._service_preventive(now):  # PR-FIFO overflow path
+        if self._preventive and self._service_preventive(now):  # PR-FIFO overflow
             return True
-        self._advance_generation(now)
+        heap = self._gen_heap
+        if heap and heap[0][0] <= now:
+            self._advance_generation(now)
         mc = self.mc
         cutoff = now + mc.trc_c
         bank_deadline = self._bank_deadline
@@ -333,6 +335,7 @@ class HiraRefreshEngine(RefreshEngine):
             # nothing (raw deadlines move only on push/pop, never with
             # time, so the memo stays exact until the structure changes).
             return False
+        ta = mc._ta
         # Iterating the set directly is safe: the loop either leaves the
         # set untouched (continue) or mutates it and returns immediately.
         for key in self._active:
@@ -346,15 +349,15 @@ class HiraRefreshEngine(RefreshEngine):
                 if self._sb_handle_due(key, rank, bank_id, now):
                     return True
                 continue
-            if not mc.rank_available(rank, now):
+            if now < ta.busy_until[rank]:
                 continue
-            bank = mc.bank(rank, bank_id)
-            if bank.open_row is not None:
-                if now >= bank.next_pre:
+            g = rank * mc.banks_per_rank + bank_id
+            if ta.open_row[g] >= 0:
+                if now >= ta.next_pre[g]:
                     mc.issue_pre(rank, bank_id, now)
                     return True
                 continue
-            if now < bank.next_act or not mc.faw_ok(rank, now) or not mc.trrd_ok(rank, bank_id, now):
+            if now < ta.next_act[g] or not mc.faw_ok(rank, now) or not mc.trrd_ok(rank, bank_id, now):
                 continue
             if now > deadline + mc.trc_c:
                 mc.stats.deadline_misses += 1
@@ -390,18 +393,19 @@ class HiraRefreshEngine(RefreshEngine):
             self._sb_blocked.add(key)
             mc.blocked_banks.add(key)
             mc.mark_dirty()
-        if not mc.rank_available(rank, now):
+        ta = mc._ta
+        if now < ta.busy_until[rank]:
             return False
-        bank = mc.bank(rank, bank_id)
-        if bank.open_row is not None:
-            if now >= bank.next_pre:
+        g = rank * mc.banks_per_rank + bank_id
+        if ta.open_row[g] >= 0:
+            if now >= ta.next_pre[g]:
                 mc.issue_pre(rank, bank_id, now)
                 return True
             return False
         if refsb_first:
             # next_act carries tRP-after-PRE and any previous REFsb busy
             # window; next_refsb is the rank's REFsb spacing.
-            if now < bank.next_act or now < mc.ranks[rank].next_refsb:
+            if now < ta.next_act[g] or now < ta.next_refsb[rank]:
                 return False
             if now > periodic_deadline + mc.trc_c:
                 mc.stats.deadline_misses += 1
@@ -411,7 +415,7 @@ class HiraRefreshEngine(RefreshEngine):
             mc.blocked_banks.discard(key)
             mc.issue_refsb(rank, bank_id, now)
             return True
-        if now < bank.next_act or not mc.faw_ok(rank, now) or not mc.trrd_ok(rank, bank_id, now):
+        if now < ta.next_act[g] or not mc.faw_ok(rank, now) or not mc.trrd_ok(rank, bank_id, now):
             return False
         if now > preventive_deadline + mc.trc_c:
             mc.stats.deadline_misses += 1
@@ -528,13 +532,53 @@ class HiraRefreshEngine(RefreshEngine):
 
     # ------------------------------------------------------------------
     def next_deadline(self, now: int) -> int:
-        self._advance_generation(now)
+        heap = self._gen_heap
+        if heap and heap[0][0] <= now:
+            self._advance_generation(now)
+        return self._deadline_wake(now)
+
+    def _deadline_wake(self, now: int) -> int:
+        """Earliest cycle pending refresh work wants the bus.
+
+        Pure over scheduling state, but it refreshes the engine-internal
+        ``_min_deadline`` memo (same formula as ``urgent``'s) and uses it
+        as a fast path: while no bank is within tRC of its deadline, the
+        per-bank fold below reduces to ``_min_deadline - tRC`` — the
+        "already due" branch prices bank/rank gates that cannot bind yet.
+        """
         mc = self.mc
-        soonest = self._preventive_deadline(now)
         trc = mc.trc_c
-        ranks = mc.ranks
         bank_deadline = self._bank_deadline
         raw_deadline = self._raw_deadline
+        if self._struct_dirty:
+            soonest_d = _FAR_FUTURE
+            for key in self._active:
+                deadline = bank_deadline.get(key)
+                if deadline is None:
+                    deadline = raw_deadline(key)
+                if deadline < soonest_d:
+                    soonest_d = deadline
+            self._min_deadline = soonest_d
+            self._struct_dirty = False
+        md = self._min_deadline
+        if md - trc > now:
+            soonest = self._preventive_deadline(now)
+            if md != _FAR_FUTURE and md - trc < soonest:
+                soonest = md - trc
+            if self._gen_heap:
+                gen_wake = self._gen_heap[0][0] + self.slack_c - trc
+                if gen_wake < soonest:
+                    soonest = gen_wake
+            return soonest
+        soonest = self._preventive_deadline(now)
+        ta = mc._ta
+        banks_per_rank = mc.banks_per_rank
+        b_open = ta.open_row
+        b_act = ta.next_act
+        b_pre = ta.next_pre
+        r_busy = ta.busy_until
+        act_floor = ta.act_floor
+        same_bank = self._same_bank
         for key in self._active:
             deadline = bank_deadline.get(key)
             if deadline is None:
@@ -547,20 +591,27 @@ class HiraRefreshEngine(RefreshEngine):
                 # Already due: report the true cycle the refresh can issue
                 # (bank/rank gates) instead of clamping to now + 1, which
                 # would busy-spin the event loop one cycle at a time.
-                bank = mc.bank(rank, bank_id)
-                gate = ranks[rank].busy_until
-                if bank.open_row is not None:
-                    if bank.next_pre > gate:
-                        gate = bank.next_pre
-                elif self._same_bank and self._sb_periodic_first(key):
+                g = rank * banks_per_rank + bank_id
+                gate = r_busy[rank]
+                if b_open[g] >= 0:
+                    if b_pre[g] > gate:
+                        gate = b_pre[g]
+                elif same_bank and self._sb_periodic_first(key):
                     # The due item is a REFsb: gated by the bank's busy
                     # window and the rank's REFsb spacing, not ACT gates.
-                    if bank.next_act > gate:
-                        gate = bank.next_act
-                    if ranks[rank].next_refsb > gate:
-                        gate = ranks[rank].next_refsb
+                    if b_act[g] > gate:
+                        gate = b_act[g]
+                    if ta.next_refsb[rank] > gate:
+                        gate = ta.next_refsb[rank]
                 else:
-                    act_gate = mc.act_allowed_at(rank, bank_id)
+                    # act_allowed_at, inlined (hot scan).
+                    act_gate = b_act[g]
+                    c = act_floor[rank]
+                    if c > act_gate:
+                        act_gate = c
+                    c = mc._group_gate_at(rank, bank_id)
+                    if c > act_gate:
+                        act_gate = c
                     if act_gate > gate:
                         gate = act_gate
                 if gate > wake:
@@ -572,6 +623,24 @@ class HiraRefreshEngine(RefreshEngine):
             if gen_wake < soonest:
                 soonest = gen_wake
         return soonest
+
+    def urgent_wake(self, now: int) -> int:
+        # Called only after a mutation-free failing schedule call (the
+        # memo contract): the spill re-admit did not fire (it marks
+        # unconditionally when entries exist), generation had nothing due
+        # (a due pop marks), and urgent's scan left every due bank gated.
+        # ``_deadline_wake`` prices exactly those gates without calling
+        # the mutating ``_advance_generation``; the raw gen-heap head is
+        # folded on top because the generation *pop* itself is a mutation
+        # urgent would perform at that cycle (``_deadline_wake``'s own
+        # gen fold is slack-shifted and can be later).
+        if self._struct_dirty:
+            return now  # defensive: deadlines unsettled, no skipping
+        wake = self._deadline_wake(now)
+        heap = self._gen_heap
+        if heap and heap[0][0] < wake:
+            wake = heap[0][0]
+        return wake
 
     # ------------------------------------------------------------------
     # Introspection for tests and benchmarks

@@ -74,7 +74,17 @@ NP_RANDOM_OK = frozenset(
 #: Sets safe to iterate raw: int/int-tuple keyed (PYTHONHASHSEED only
 #: perturbs str/bytes on CPython) *and* consumed order-insensitively.
 INT_KEYED_SETS = frozenset(
-    {"blocked_ranks", "blocked_banks", "_sb_draining", "_sb_blocked", "_active"}
+    {
+        "blocked_ranks",
+        "blocked_banks",
+        "_sb_draining",
+        "_sb_blocked",
+        "_active",
+        # Row-hit bank indexes: int-keyed, and consumed via a min-seq
+        # reduction over per-bank deque heads — order-insensitive.
+        "_hit_read",
+        "_hit_write",
+    }
 )
 
 

@@ -68,9 +68,8 @@ WATCHED = frozenset(
         "blocked_banks",
         "_scheduled_closes",
         "_bank_demand",
-        "_row_demand_read",
-        "_row_demand_write",
-        # _BankState / _RankState
+        # TimingArrays columns (also the _BankState/_RankState property
+        # names, so stores through either surface are caught)
         "open_row",
         "next_act",
         "next_pre",
@@ -80,7 +79,8 @@ WATCHED = frozenset(
         "ref_due",
         "ref_ready",
         "next_act_any",
-        "next_act_group",
+        "act_floor",
+        "group_gate",
         "next_refsb",
         # refresh engines
         "_preventive",
@@ -106,21 +106,40 @@ WATCHED = frozenset(
 
 #: Deliberately NOT watched, with the reason each is excluded:
 #:   _dirty / _next_event_cache   — the memo itself;
+#:   _epoch / _progress_at        — the schedule() wake memo: _epoch is
+#:                                  bumped alongside every mark and
+#:                                  _progress_at stores the memoized
+#:                                  bound, so watching them would flag
+#:                                  the memo machinery itself;
 #:   _struct_dirty / _min_deadline / _sb_forced_min
 #:                                — engine-internal memos *over* watched
 #:                                  state, never read by next_event;
 #:   _draining_writes             — write-drain hysteresis: changes which
 #:                                  queue schedule() tries first, never a
 #:                                  wake time;
+#:   _row_q_read / _row_q_write /
+#:   _hit_read / _hit_write       — scheduler indexes over read_q and
+#:                                  write_q, mutated only at marking
+#:                                  chokepoints (enqueue / issue /
+#:                                  open_row write);
+#:   _seq                         — monotonic arrival-stamp counter, only
+#:                                  advanced by enqueue (which marks);
 #:   stats / completions          — telemetry, not scheduling state.
 EXCLUDED = frozenset(
     {
         "_dirty",
         "_next_event_cache",
+        "_epoch",
+        "_progress_at",
         "_struct_dirty",
         "_min_deadline",
         "_sb_forced_min",
         "_draining_writes",
+        "_row_q_read",
+        "_row_q_write",
+        "_hit_read",
+        "_hit_write",
+        "_seq",
         "stats",
         "completions",
     }

@@ -33,6 +33,9 @@ HOT_PATH_CLASSES = (
     ("sim/request.py", "Request"),
     ("sim/core.py", "RobEntry"),
     ("sim/core.py", "CoreModel"),
+    ("sim/controller.py", "TimingArrays"),
+    ("sim/controller.py", "_FawView"),
+    ("sim/controller.py", "_GroupGates"),
     ("sim/controller.py", "_BankState"),
     ("sim/controller.py", "_RankState"),
     ("sim/controller.py", "ControllerStats"),

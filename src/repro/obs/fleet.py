@@ -57,6 +57,7 @@ class FleetStatus:
         self.backend: str | None = None
         #: worker label -> last heartbeat wall-clock timestamp.
         self._workers: dict[str, float] = {}
+        self._done_labels: set[str] = set()
         self._quarantined: list[str] = []
         self._last_write = 0.0
         self._finished = False
@@ -77,10 +78,22 @@ class FleetStatus:
             "state": "running",
         }
         self._finished = False
+        self._done_labels = set()
         self._jobs.inc(todo, state="queued")
         self.write(force=True)
 
     def point_done(self, label: str) -> None:
+        """Record one computed point.
+
+        Idempotent per label: a retried or speculated job can complete
+        the same point twice (and store replay never reaches here at
+        all), so ``done`` counts distinct points and can never exceed
+        the ``todo`` reported by :meth:`sweep_started` — the rendered
+        ``done/todo`` line stays truthful under ``--resume``.
+        """
+        if label in self._done_labels:
+            return
+        self._done_labels.add(label)
         self._jobs.inc(state="done")
         if self.sweep:
             self.sweep["done"] = self.sweep.get("done", 0) + 1

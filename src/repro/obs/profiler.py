@@ -97,7 +97,7 @@ class PhaseProfiler:
         from repro.sim.trace import TraceGenerator
 
         self._patch(MemoryController, "schedule", "schedule")
-        self._patch(MemoryController, "_schedule_queue", "queue-scan")
+        self._patch(MemoryController, "_schedule_queues", "queue-scan")
         self._patch(MemoryController, "next_event", "next-event")
         self._patch(MemoryController, "data_bus_free_at", "bus-gating")
         engines = (
@@ -108,7 +108,7 @@ class PhaseProfiler:
             HiraRefreshEngine,
         )
         for cls in engines:
-            for name in ("urgent", "next_deadline", "on_act"):
+            for name in ("urgent", "next_deadline", "on_act", "urgent_wake"):
                 self._patch(cls, name, "refresh-engine")
         self._patch(TraceGenerator, "_refill", "trace-refill")
 
@@ -146,7 +146,7 @@ class PhaseProfiler:
         }
 
 
-def profile_workload(overrides: dict, instr_budget: int = 100_000) -> dict:
+def profile_workload(overrides: dict, instr_budget: int = 200_000) -> dict:
     """One profiled run of a pinned kernel workload (cf. ``measure_workload``).
 
     Timer overhead makes the absolute wall time slower than the unprofiled

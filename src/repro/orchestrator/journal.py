@@ -121,7 +121,16 @@ class SweepJournal:
             if event == "begin":
                 state.runs += 1
                 state.complete = False
-                state.fingerprint = record.get("fingerprint")
+                fingerprint = record.get("fingerprint")
+                if state.fingerprint is not None and fingerprint != state.fingerprint:
+                    # The simulator source changed between runs: points
+                    # journaled under the old fingerprint will be
+                    # recomputed, not replayed (recovery contract above),
+                    # so they are not progress toward the latest run.
+                    # Dropping them keeps ``done`` within the latest
+                    # grid instead of reporting e.g. "10/6 points".
+                    state.done_keys.clear()
+                state.fingerprint = fingerprint
                 state.points = int(record.get("points", 0))
             elif event == "done":
                 key = record.get("key")

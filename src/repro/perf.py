@@ -22,7 +22,7 @@ import time
 from pathlib import Path
 
 #: The fixed workloads: quick-mode Fig. 12 single points (mix 0, the
-#: legacy ``seed = 100 + mix_id`` seeding, 100k measured instructions).
+#: legacy ``seed = 100 + mix_id`` seeding, 200k measured instructions).
 KERNEL_WORKLOADS: tuple[tuple[str, dict], ...] = (
     ("fig12-para-nrh64", dict(refresh_mode="baseline", para_nrh=64.0)),
     ("fig12-hira2-nrh64", dict(refresh_mode="hira", tref_slack_acts=2, para_nrh=64.0)),
@@ -31,18 +31,24 @@ KERNEL_WORKLOADS: tuple[tuple[str, dict], ...] = (
 )
 
 #: Pre-optimization (PR 2 kernel) median wall times for the workloads
-#: above at ``PRE_PR_INSTR_BUDGET`` instructions, measured interleaved
-#: with the optimized kernel on the reference container (1 CPU, Python
-#: 3.11) so host drift cancels out.  They are the denominator of the
-#: tracked speedup-vs-seed column; absolute times on other hosts differ,
-#: ratios travel reasonably well.  Only comparable at the same budget —
-#: ``measure_workload`` drops the column at any other scale.
-PRE_PR_INSTR_BUDGET = 100_000
+#: above at ``PRE_PR_INSTR_BUDGET`` instructions.  The 100k-budget
+#: values were measured interleaved with the optimized kernel on the
+#: reference container (1 CPU, Python 3.11) so host drift cancels out;
+#: when the default budget moved to 200k (the SoA kernel got fast
+#: enough that a 100k rep could dip under a ~1 s timed window, where
+#: timer noise dominates) they were scaled linearly — the kernel is
+#: O(events) and events scale with the budget to within 1% (measured
+#: ratio 1.99x), and the PR 2 kernel predates this module, so a clean
+#: re-measurement is no longer possible.  They are the denominator of
+#: the tracked speedup-vs-seed column; absolute times on other hosts
+#: differ, ratios travel reasonably well.  Only comparable at the same
+#: budget — ``measure_workload`` drops the column at any other scale.
+PRE_PR_INSTR_BUDGET = 200_000
 PRE_PR_WALL_S: dict[str, float] = {
-    "fig12-para-nrh64": 4.58,
-    "fig12-hira2-nrh64": 5.86,
-    "fig12-margin-baseline-128g": 2.62,
-    "fig12-margin-hira2-128g": 4.23,
+    "fig12-para-nrh64": 9.16,
+    "fig12-hira2-nrh64": 11.72,
+    "fig12-margin-baseline-128g": 5.24,
+    "fig12-margin-hira2-128g": 8.46,
 }
 
 _EVENT_FIELDS = ("acts", "pres", "refs", "reads_served", "writes_served")
@@ -57,9 +63,17 @@ def _count_events(result) -> int:
 
 
 def measure_workload(
-    name: str, overrides: dict, instr_budget: int = 100_000, reps: int = 3
+    name: str, overrides: dict, instr_budget: int = 200_000, reps: int = 3
 ) -> dict:
-    """Run one pinned workload ``reps`` times; report the median wall."""
+    """Run one pinned workload ``reps`` times; report the median wall.
+
+    The default budget keeps every rep's timed window >= ~1 s on the
+    reference container even after the SoA speedup, so timer granularity
+    and scheduler jitter stay well under the drift the median absorbs.
+    A degenerate near-zero wall (a stubbed run, a broken clock) reports
+    rates of 0.0 rather than ``inf``: the CI floor check then fails
+    loudly instead of an absurd rate sailing past it.
+    """
     from repro.sim.config import SystemConfig
     from repro.sim.system import System
     from repro.workloads.mixes import mix_for
@@ -74,26 +88,27 @@ def measure_workload(
         result = system.run()
         walls.append(time.perf_counter() - start)
     wall = statistics.median(walls)
+    timeable = wall > 1e-6
     events = _count_events(result)
     instructions = sum(result.instructions)
     row = {
         "wall_s": round(wall, 4),
         "wall_s_all": [round(w, 4) for w in walls],
         "events": events,
-        "events_per_sec": round(events / wall, 1),
+        "events_per_sec": round(events / wall, 1) if timeable else 0.0,
         "cycles": result.cycles,
-        "cycles_per_sec": round(result.cycles / wall, 1),
+        "cycles_per_sec": round(result.cycles / wall, 1) if timeable else 0.0,
         "instructions": instructions,
-        "instr_per_sec": round(instructions / wall, 1),
+        "instr_per_sec": round(instructions / wall, 1) if timeable else 0.0,
     }
     ref = PRE_PR_WALL_S.get(name) if instr_budget == PRE_PR_INSTR_BUDGET else None
-    if ref is not None:
+    if ref is not None and timeable:
         row["pre_pr_wall_s"] = ref
         row["speedup_vs_pre_pr"] = round(ref / wall, 2)
     return row
 
 
-def profile_kernel(instr_budget: int = 100_000) -> dict:
+def profile_kernel(instr_budget: int = 200_000) -> dict:
     """Phase-attributed wall time for every tracked workload.
 
     One extra (instrumented) run per workload — never the timed run, so
@@ -115,20 +130,23 @@ def profile_kernel(instr_budget: int = 100_000) -> dict:
         for phase, row in report["phases"].items():
             totals[phase]["seconds"] += row["seconds"]
             totals[phase]["calls"] += row["calls"]
+    # Shares guard against a degenerate near-zero wall (not just exact
+    # zero): a broken timer must produce 0.0 shares, never inf/absurd.
+    timeable = wall > 1e-6
     for row in totals.values():
         row["seconds"] = round(row["seconds"], 4)
-        row["share"] = round(row["seconds"] / wall, 4) if wall else 0.0
+        row["share"] = round(row["seconds"] / wall, 4) if timeable else 0.0
     return {
         "wall_s": round(wall, 4),
         "other_s": round(other, 4),
-        "other_share": round(other / wall, 4) if wall else 0.0,
+        "other_share": round(other / wall, 4) if timeable else 0.0,
         "phases": totals,
         "workloads": per_workload,
     }
 
 
 def measure_kernel(
-    instr_budget: int = 100_000, reps: int = 3, profile: bool = False
+    instr_budget: int = 200_000, reps: int = 3, profile: bool = False
 ) -> dict:
     """Measure every tracked workload and assemble the bench payload."""
     import os
@@ -142,6 +160,7 @@ def measure_kernel(
         )
     total_wall = sum(row["wall_s"] for row in workloads.values())
     total_events = sum(row["events"] for row in workloads.values())
+    total_timeable = total_wall > 1e-6
     ref_total = sum(
         row["pre_pr_wall_s"] for row in workloads.values() if "pre_pr_wall_s" in row
     )
@@ -164,13 +183,15 @@ def measure_kernel(
         "totals": {
             "wall_s": round(total_wall, 4),
             "events": total_events,
-            "events_per_sec": round(total_events / total_wall, 1),
+            "events_per_sec": (
+                round(total_events / total_wall, 1) if total_timeable else 0.0
+            ),
             **(
                 {
                     "pre_pr_wall_s": round(ref_total, 4),
                     "speedup_vs_pre_pr": round(ref_total / total_wall, 2),
                 }
-                if ref_total
+                if ref_total and total_timeable
                 else {}
             ),
         },

@@ -5,45 +5,321 @@ timing state.  Refresh behaviour is pluggable through a
 :class:`RefreshEngine`; the baseline issues rank-level REF commands every
 tREFI (blocking the rank for tRFC), while HiRA-MC (in :mod:`repro.core`)
 replaces them with HiRA operations scheduled around demand accesses.
+
+Hot-path layout (struct of arrays)
+----------------------------------
+Timing state lives in :class:`TimingArrays`: flat lists indexed by the
+global bank id ``g = rank * banks_per_rank + bank`` (bank axes) or by
+rank / flattened ``(rank, bankgroup)`` (rank axes), instead of nested
+per-object attributes.  The scheduler no longer scans request queues:
+per-bank FCFS deques and per-``(bank, row)`` row-hit deques are
+maintained at enqueue/dequeue, so command selection visits only banks
+that have work.  ``schedule()`` additionally memoizes its own next
+useful cycle (``_progress_at``) whenever a call provably issued nothing
+and mutated nothing, letting the system loop skip idle controllers
+entirely.  All of it is bit-identical to the scan-based kernel — the
+kernel A/B goldens and audit-digest goldens in
+``tests/test_kernel_equivalence.py`` enforce exactly that.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.config import SystemConfig
 from repro.sim.request import Request
 
 _FAR_FUTURE = 1 << 60
+#: Sentinel returned by ``_schedule_queues`` when it issued a command (any
+#: real wake bound is a non-negative cycle).
+_ISSUED = -2
 
 
-@dataclass(slots=True)
+class TimingArrays:
+    """Struct-of-arrays timing state for one channel.
+
+    Bank axes (``open_row``, ``next_act``, ``next_pre``, ``next_rdwr``)
+    are flat lists of length ``ranks * banks_per_rank`` indexed by the
+    global bank id ``g``; rank axes are length-``ranks`` lists; the
+    bank-group ACT gate (tRRD_L) is flattened to
+    ``rank * bankgroups_per_rank + group``.  ``open_row`` uses ``-1``
+    for a precharged bank so every element stays a machine int.
+
+    Plain Python lists, deliberately not numpy: the hot loops make a
+    handful of *scalar* accesses per visited cycle, and a measured
+    scalar ``ndarray[i]`` read costs ~4x a list index (every read boxes
+    a numpy scalar) — numpy pays only where bulk math amortizes, e.g.
+    the vectorized trace refill.
+
+    ``act_floor[rank]`` is a maintained derived gate:
+    ``max(next_act_any[rank], faw[rank][0] + tFAW)`` (0 while fewer than
+    four ACTs are in the window).  It is resynced at every ACT record
+    and by the state views whenever ``faw``/``next_act_any`` are poked
+    directly, so ``act_allowed_at`` and its inlined copies fold one
+    precomputed value instead of re-deriving the tFAW gate per scan.
+    """
+
+    __slots__ = (
+        "open_row",
+        "next_act",
+        "next_pre",
+        "next_rdwr",
+        "busy_until",
+        "ref_due",
+        "ref_ready",
+        "next_refsb",
+        "next_act_any",
+        "act_floor",
+        "faw",
+        "group_gate",
+    )
+
+    def __init__(self, ranks: int, banks_per_rank: int, groups_per_rank: int):
+        nb = ranks * banks_per_rank
+        self.open_row = [-1] * nb
+        self.next_act = [0] * nb
+        self.next_pre = [0] * nb
+        self.next_rdwr = [0] * nb
+        self.busy_until = [0] * ranks
+        self.ref_due = [0] * ranks
+        self.ref_ready = [0] * ranks
+        self.next_refsb = [0] * ranks
+        self.next_act_any = [0] * ranks
+        self.act_floor = [0] * ranks
+        self.faw = [deque() for __ in range(ranks)]
+        self.group_gate = [0] * (ranks * groups_per_rank)
+
+
+class _FawView:
+    """Deque-like view of one rank's tFAW ACT history.
+
+    Mutations resync the rank's derived ``act_floor`` so tests that poke
+    the window directly (e.g. ``mc.ranks[0].faw.clear()``) keep the
+    maintained gate coherent with the raw deque, and invalidate the
+    controller's schedule/next_event memos like any other scheduling-state
+    mutation would.
+    """
+
+    __slots__ = ("_mc", "_r", "_dq")
+
+    def __init__(self, mc: "MemoryController", rank: int):
+        self._mc = mc
+        self._r = rank
+        self._dq = mc._ta.faw[rank]
+
+    def append(self, value: int) -> None:
+        self._dq.append(value)
+        self._mc._resync_act_floor(self._r)
+        self._mc.mark_dirty()
+
+    def popleft(self) -> int:
+        value = self._dq.popleft()
+        self._mc._resync_act_floor(self._r)
+        self._mc.mark_dirty()
+        return value
+
+    def clear(self) -> None:
+        self._dq.clear()
+        self._mc._resync_act_floor(self._r)
+        self._mc.mark_dirty()
+
+    def __len__(self) -> int:
+        return len(self._dq)
+
+    def __bool__(self) -> bool:
+        return bool(self._dq)
+
+    def __getitem__(self, index):
+        return self._dq[index]
+
+    def __iter__(self):
+        return iter(self._dq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_FawView({list(self._dq)!r})"
+
+
+class _GroupGates:
+    """List-like view of one rank's bank-group ACT gates (tRRD_L)."""
+
+    __slots__ = ("_mc", "_gates", "_base", "_n")
+
+    def __init__(self, mc: "MemoryController", gates: list, base: int, n: int):
+        self._mc = mc
+        self._gates = gates
+        self._base = base
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index: int) -> int:
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError(index)
+        return self._gates[self._base + index]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError(index)
+        self._gates[self._base + index] = value
+        self._mc.mark_dirty()
+
+    def __iter__(self):
+        base = self._base
+        return iter(self._gates[base : base + self._n])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_GroupGates({list(self)!r})"
+
+
 class _BankState:
-    open_row: int | None = None
-    next_act: int = 0
-    next_pre: int = 0
-    next_rdwr: int = 0
+    """Per-bank view over the :class:`TimingArrays` columns.
+
+    The stable external surface (``mc.bank(rank, bank)``) for tracers,
+    tests, and cold paths; hot code indexes the arrays directly.  The
+    ``open_row`` setter resyncs the controller's row-hit bank index so
+    direct pokes cannot strand a stale FR candidate.
+    """
+
+    __slots__ = ("_mc", "_g", "_open", "_act", "_pre", "_rdwr")
+
+    def __init__(self, mc: "MemoryController", g: int):
+        self._mc = mc
+        self._g = g
+        ta = mc._ta
+        self._open = ta.open_row
+        self._act = ta.next_act
+        self._pre = ta.next_pre
+        self._rdwr = ta.next_rdwr
+
+    @property
+    def open_row(self) -> int | None:
+        row = self._open[self._g]
+        return None if row < 0 else row
+
+    @open_row.setter
+    def open_row(self, row: int | None) -> None:
+        g = self._g
+        self._open[g] = -1 if row is None else row
+        mc = self._mc
+        mc._hit_read.discard(g)
+        mc._hit_write.discard(g)
+        if row is not None:
+            if (g, row) in mc._row_q_read:
+                mc._hit_read.add(g)
+            if (g, row) in mc._row_q_write:
+                mc._hit_write.add(g)
+        mc.mark_dirty()
+
+    @property
+    def next_act(self) -> int:
+        return self._act[self._g]
+
+    @next_act.setter
+    def next_act(self, value: int) -> None:
+        self._act[self._g] = value
+        self._mc.mark_dirty()
+
+    @property
+    def next_pre(self) -> int:
+        return self._pre[self._g]
+
+    @next_pre.setter
+    def next_pre(self, value: int) -> None:
+        self._pre[self._g] = value
+        self._mc.mark_dirty()
+
+    @property
+    def next_rdwr(self) -> int:
+        return self._rdwr[self._g]
+
+    @next_rdwr.setter
+    def next_rdwr(self, value: int) -> None:
+        self._rdwr[self._g] = value
+        self._mc.mark_dirty()
 
 
-@dataclass(slots=True)
 class _RankState:
-    faw: deque = field(default_factory=deque)
-    ref_due: int = 0
-    busy_until: int = 0
-    #: Earliest cycle the next ACT to *any* bank of this rank may issue
-    #: (tRRD_S, the cross-bank-group spacing).
-    next_act_any: int = 0
-    #: Earliest cycle the next ACT to each *bank group* may issue (tRRD_L,
-    #: the same-group spacing); sized per geometry in the controller.
-    next_act_group: list = field(default_factory=list)
-    #: Earliest cycle a rank-level REF may issue: every bank precharged for
-    #: tRP, including the deferred closes of in-flight refresh operations.
-    ref_ready: int = 0
-    #: Earliest cycle the next same-bank REFsb may issue on this rank
-    #: (tREFSB_GAP: consecutive REFsb commands share refresh control).
-    next_refsb: int = 0
+    """Per-rank view over the :class:`TimingArrays` columns.
+
+    Writes to ``next_act_any`` (and any ``faw`` mutation through the
+    :class:`_FawView`) resync the derived ``act_floor``.
+    """
+
+    __slots__ = ("_mc", "_r", "_busy", "_due", "_ready", "_refsb", "_any")
+
+    def __init__(self, mc: "MemoryController", rank: int):
+        self._mc = mc
+        self._r = rank
+        ta = mc._ta
+        self._busy = ta.busy_until
+        self._due = ta.ref_due
+        self._ready = ta.ref_ready
+        self._refsb = ta.next_refsb
+        self._any = ta.next_act_any
+
+    @property
+    def faw(self) -> _FawView:
+        return _FawView(self._mc, self._r)
+
+    @property
+    def busy_until(self) -> int:
+        return self._busy[self._r]
+
+    @busy_until.setter
+    def busy_until(self, value: int) -> None:
+        self._busy[self._r] = value
+        self._mc.mark_dirty()
+
+    @property
+    def ref_due(self) -> int:
+        return self._due[self._r]
+
+    @ref_due.setter
+    def ref_due(self, value: int) -> None:
+        self._due[self._r] = value
+        self._mc.mark_dirty()
+
+    @property
+    def ref_ready(self) -> int:
+        return self._ready[self._r]
+
+    @ref_ready.setter
+    def ref_ready(self, value: int) -> None:
+        self._ready[self._r] = value
+        self._mc.mark_dirty()
+
+    @property
+    def next_refsb(self) -> int:
+        return self._refsb[self._r]
+
+    @next_refsb.setter
+    def next_refsb(self, value: int) -> None:
+        self._refsb[self._r] = value
+        self._mc.mark_dirty()
+
+    @property
+    def next_act_any(self) -> int:
+        return self._any[self._r]
+
+    @next_act_any.setter
+    def next_act_any(self, value: int) -> None:
+        self._any[self._r] = value
+        self._mc._resync_act_floor(self._r)
+        self._mc.mark_dirty()
+
+    @property
+    def next_act_group(self) -> _GroupGates:
+        mc = self._mc
+        n = mc.bankgroups_per_rank
+        return _GroupGates(mc, mc._ta.group_gate, self._r * n, n)
 
 
 @dataclass(slots=True)
@@ -122,18 +398,26 @@ class RefreshEngine:
         if not pending:
             return False
         mc = self.mc
-        banks = mc._banks
-        ranks = mc.ranks
+        ta = mc._ta
+        b_open = ta.open_row
+        busy = ta.busy_until
+        act_floor = ta.act_floor
+        banks_per_rank = mc.banks_per_rank
         for i, (rank, bank_id, row, __) in enumerate(pending):
-            if now < ranks[rank].busy_until:
+            if now < busy[rank]:
                 continue
-            bank = banks[rank][bank_id]
-            if bank.open_row is not None:
-                if now >= bank.next_pre:
+            g = rank * banks_per_rank + bank_id
+            if b_open[g] >= 0:
+                if now >= ta.next_pre[g]:
                     mc.issue_pre(rank, bank_id, now)
                     return True
                 continue
-            if now >= bank.next_act and mc.faw_ok(rank, now) and mc.trrd_ok(rank, bank_id, now):
+            # act_allowed_at, inlined (this scan is on the hot path).
+            if (
+                now >= ta.next_act[g]
+                and now >= act_floor[rank]
+                and now >= mc._group_gate_at(rank, bank_id)
+            ):
                 del pending[i]
                 mc.issue_solo_refresh(rank, bank_id, now)
                 return True
@@ -144,31 +428,31 @@ class RefreshEngine:
         if not pending:
             return _FAR_FUTURE
         mc = self.mc
-        banks = mc._banks
-        ranks = mc.ranks
-        tfaw_c = mc.tfaw_c
+        ta = mc._ta
+        b_open = ta.open_row
+        busy = ta.busy_until
+        act_floor = ta.act_floor
+        group_gate = ta.group_gate
+        banks_per_rank = mc.banks_per_rank
+        groups = mc.bankgroups_per_rank
         bpg = mc.banks_per_bankgroup
         soonest = _FAR_FUTURE
         for rank, bank_id, __, __dl in pending:
-            bank = banks[rank][bank_id]
-            rank_state = ranks[rank]
-            if bank.open_row is not None:
-                gate = bank.next_pre
+            g = rank * banks_per_rank + bank_id
+            if b_open[g] >= 0:
+                gate = ta.next_pre[g]
             else:
                 # act_allowed_at, inlined (this scan is on the hot path).
-                gate = bank.next_act
-                faw = rank_state.faw
-                if len(faw) >= 4:
-                    faw_gate = faw[0] + tfaw_c
-                    if faw_gate > gate:
-                        gate = faw_gate
-                if rank_state.next_act_any > gate:
-                    gate = rank_state.next_act_any
-                group_gate = rank_state.next_act_group[bank_id // bpg]
-                if group_gate > gate:
-                    gate = group_gate
-            if rank_state.busy_until > gate:
-                gate = rank_state.busy_until
+                gate = ta.next_act[g]
+                c = act_floor[rank]
+                if c > gate:
+                    gate = c
+                c = group_gate[rank * groups + bank_id // bpg]
+                if c > gate:
+                    gate = c
+            c = busy[rank]
+            if c > gate:
+                gate = c
             if gate < soonest:
                 soonest = gate
         return soonest
@@ -180,6 +464,21 @@ class RefreshEngine:
 
     def next_deadline(self, now: int) -> int:
         """Next cycle at which the engine wants the bus."""
+        return self._preventive_deadline(now)
+
+    def urgent_wake(self, now: int) -> int:
+        """Never-late bound for the next cycle ``urgent`` could act.
+
+        Consulted only at the end of a failing, mutation-free
+        ``schedule`` call (see its memo contract): until the returned
+        cycle, calling ``urgent`` again would provably neither issue a
+        command nor mutate any scheduling state.  The bound may be early
+        (the re-run is then a harmless no-op) but must never be late; a
+        bound ``<= now`` simply disables skipping for this controller.
+        Any engine mutation in the meantime voids the memo through
+        ``mark_dirty``, so the formulas only need to hold while state is
+        frozen.
+        """
         return self._preventive_deadline(now)
 
     def on_act(self, req: Request, now: int) -> int | None:
@@ -220,9 +519,10 @@ class BaselineRefreshEngine(RefreshEngine):
                     heapq.heappush(self._sb_heap, (due, rank_id, bank_id))
                     index += 1
             return
-        for i, rank in enumerate(mc.ranks):
+        n_ranks = len(mc.ranks)
+        for i in range(n_ranks):
             # Stagger REF across ranks so they do not collide on the bus.
-            rank.ref_due = trefi + (i * trefi) // max(1, len(mc.ranks))
+            mc._ta.ref_due[i] = trefi + (i * trefi) // max(1, n_ranks)
 
     # -- Same-bank (REFsb) path --------------------------------------------
     def _sb_promote(self, now: int) -> None:
@@ -248,20 +548,21 @@ class BaselineRefreshEngine(RefreshEngine):
     def _sb_issue_due(self, now: int) -> bool:
         """Progress one draining bank: PRE it, wait tRP, then REFsb."""
         mc = self.mc
+        ta = mc._ta
+        banks_per_rank = mc.banks_per_rank
         for key in self._sb_draining:
             rank_id, bank_id = key
-            rank = mc.ranks[rank_id]
-            if now < rank.busy_until:
+            if now < ta.busy_until[rank_id]:
                 continue
-            bank = mc.bank(rank_id, bank_id)
-            if bank.open_row is not None:
-                if now >= bank.next_pre:
+            g = rank_id * banks_per_rank + bank_id
+            if ta.open_row[g] >= 0:
+                if now >= ta.next_pre[g]:
                     mc.issue_pre(rank_id, bank_id, now)
                     return True
                 continue
             # next_act carries both tRP-after-PRE and the previous REFsb's
             # busy window; next_refsb is the rank's tREFSB_GAP spacing.
-            if now < bank.next_act or now < rank.next_refsb:
+            if now < ta.next_act[g] or now < ta.next_refsb[rank_id]:
                 continue
             self._sb_draining.discard(key)
             mc.blocked_banks.discard(key)
@@ -276,19 +577,22 @@ class BaselineRefreshEngine(RefreshEngine):
     def _sb_drain_wake(self, now: int, soonest: int) -> int:
         """Fold each draining bank's next drain-step gate into ``soonest``."""
         mc = self.mc
-        for key in self._sb_draining:
-            rank_id, bank_id = key
-            rank = mc.ranks[rank_id]
-            bank = mc.bank(rank_id, bank_id)
-            gate = rank.busy_until
-            if bank.open_row is not None:
-                if bank.next_pre > gate:
-                    gate = bank.next_pre
+        ta = mc._ta
+        banks_per_rank = mc.banks_per_rank
+        for rank_id, bank_id in self._sb_draining:
+            g = rank_id * banks_per_rank + bank_id
+            gate = ta.busy_until[rank_id]
+            if ta.open_row[g] >= 0:
+                c = ta.next_pre[g]
+                if c > gate:
+                    gate = c
             else:
-                if bank.next_act > gate:
-                    gate = bank.next_act
-                if rank.next_refsb > gate:
-                    gate = rank.next_refsb
+                c = ta.next_act[g]
+                if c > gate:
+                    gate = c
+                c = ta.next_refsb[rank_id]
+                if c > gate:
+                    gate = c
             if gate < soonest:
                 soonest = gate
         return soonest
@@ -306,6 +610,17 @@ class BaselineRefreshEngine(RefreshEngine):
             soonest = heap[0][0]
         return soonest
 
+    def _sb_urgent_wake(self, now: int) -> int:
+        """Mirror of ``_sb_urgent``'s gates for the schedule memo."""
+        # _sb_drain_wake mirrors _sb_issue_due's per-bank gates exactly;
+        # the heap head is the cycle the next promotion (a mutation)
+        # fires; _preventive_deadline covers _service_preventive.
+        wake = self._sb_drain_wake(now, self._preventive_deadline(now))
+        heap = self._sb_heap
+        if heap and heap[0][0] < wake:
+            wake = heap[0][0]
+        return wake
+
     # -- All-bank (rank REF) path ------------------------------------------
     def urgent(self, now: int) -> bool:
         if self._same_bank:
@@ -313,8 +628,11 @@ class BaselineRefreshEngine(RefreshEngine):
         if self._service_preventive(now):
             return True
         mc = self.mc
-        for rank_id, rank in enumerate(mc.ranks):
-            if now < rank.ref_due or now < rank.busy_until:
+        ta = mc._ta
+        ref_due = ta.ref_due
+        busy = ta.busy_until
+        for rank_id in range(len(ref_due)):
+            if now < ref_due[rank_id] or now < busy[rank_id]:
                 continue
             # Drain the rank: defer new demand to it so sustained traffic
             # cannot keep reopening banks (or pushing tRP-readiness away)
@@ -325,17 +643,17 @@ class BaselineRefreshEngine(RefreshEngine):
                 mc.mark_dirty()
             # All banks must be precharged before REF.
             open_bank = mc.first_open_bank(rank_id)
-            if open_bank is None and now < rank.ref_ready:
+            if open_bank is None and now < ta.ref_ready[rank_id]:
                 continue  # tRP still elapsing; the rank stays blocked
             if open_bank is not None:
-                bank = mc.bank(rank_id, open_bank)
-                if now >= bank.next_pre:
+                g = rank_id * mc.banks_per_rank + open_bank
+                if now >= ta.next_pre[g]:
                     mc.issue_pre(rank_id, open_bank, now)
                     return True
                 continue
             mc.blocked_ranks.discard(rank_id)
             mc.issue_ref(rank_id, now)
-            rank.ref_due += mc.trefi_c
+            ta.ref_due[rank_id] += mc.trefi_c
             return True
         return False
 
@@ -343,13 +661,46 @@ class BaselineRefreshEngine(RefreshEngine):
         if self._same_bank:
             return self._sb_next_deadline(now)
         soonest = self._preventive_deadline(now)
-        for rank in self.mc.ranks:
-            due = rank.ref_due
-            if rank.ref_ready > due:
-                due = rank.ref_ready
+        ta = self.mc._ta
+        ref_ready = ta.ref_ready
+        for rank_id, due in enumerate(ta.ref_due):
+            c = ref_ready[rank_id]
+            if c > due:
+                due = c
             if due < soonest:
                 soonest = due
         return soonest
+
+    def urgent_wake(self, now: int) -> int:
+        if self._same_bank:
+            return self._sb_urgent_wake(now)
+        wake = self._preventive_deadline(now)
+        mc = self.mc
+        ta = mc._ta
+        busy = ta.busy_until
+        for rank_id, due in enumerate(ta.ref_due):
+            gate = busy[rank_id]
+            if due > gate:
+                gate = due
+            if gate > now:
+                # Not yet engaged: urgent skips the rank until this cycle.
+                if gate < wake:
+                    wake = gate
+                continue
+            # Due and free now: the rank is already blocked and draining
+            # (the blocking add happened in an earlier, mutating call).
+            # Mirror urgent's drain branches: the first open bank's PRE
+            # gate, or the tRP-after-PRE REF-readiness gate.
+            open_bank = mc.first_open_bank(rank_id)
+            if open_bank is not None:
+                c = ta.next_pre[rank_id * mc.banks_per_rank + open_bank]
+            else:
+                c = ta.ref_ready[rank_id]
+            if c > gate:
+                gate = c
+            if gate < wake:
+                wake = gate
+        return wake
 
 
 class MemoryController:
@@ -383,13 +734,16 @@ class MemoryController:
         geom = config.geometry
         self.banks_per_rank = geom.banks_per_rank
         self.banks_per_bankgroup = geom.banks_per_bankgroup
-        self.ranks = [
-            _RankState(next_act_group=[0] * geom.bankgroups_per_rank)
-            for __ in range(config.ranks_per_channel)
-        ]
-        self._banks = [
-            [_BankState() for __ in range(self.banks_per_rank)]
-            for __ in range(config.ranks_per_channel)
+        self.bankgroups_per_rank = geom.bankgroups_per_rank
+        n_ranks = config.ranks_per_channel
+        #: The struct-of-arrays hot state (see :class:`TimingArrays`).
+        self._ta = TimingArrays(
+            n_ranks, self.banks_per_rank, self.bankgroups_per_rank
+        )
+        #: Stable view objects: the object-per-rank/bank external surface.
+        self.ranks = [_RankState(self, r) for r in range(n_ranks)]
+        self._bank_views = [
+            _BankState(self, g) for g in range(n_ranks * self.banks_per_rank)
         ]
         self.read_q: list[Request] = []
         self.write_q: list[Request] = []
@@ -413,21 +767,41 @@ class MemoryController:
         #: Deferred single commands (e.g. the PRE closing a refresh-refresh
         #: HiRA pair) as a min-heap of (cycle, rank, bank) bus reservations.
         self._scheduled_closes: list[tuple[int, int, int]] = []
-        #: Queued demand requests (both queues) per (rank, bank) — kept
+        #: Queued demand requests (both queues) per global bank id — kept
         #: incrementally at enqueue/dequeue so ``demand_waiting`` is O(1).
-        self._bank_demand = [
-            [0] * self.banks_per_rank for __ in range(config.ranks_per_channel)
-        ]
-        #: Queued requests per (rank, bank, row), split by queue, so
-        #: ``_row_hit_waiting`` is an O(1) lookup.
-        self._row_demand_read: dict[tuple[int, int, int], int] = {}
-        self._row_demand_write: dict[tuple[int, int, int], int] = {}
+        self._bank_demand = [0] * (n_ranks * self.banks_per_rank)
+        #: Indexed per-bank scheduler state, per queue: per-(bank, row)
+        #: deques of row hits (exactly pruned — a column access always
+        #: dequeues its row deque's head) and the set of banks whose
+        #: *open* row has queued hits (the FR candidate set).  The FCFS
+        #: heads need no extra index: the queue list itself is in arrival
+        #: order, so the first occurrence per bank is that bank's head.
+        self._row_q_read: dict[tuple[int, int], deque] = {}
+        self._row_q_write: dict[tuple[int, int], deque] = {}
+        self._hit_read: set[int] = set()
+        self._hit_write: set[int] = set()
+        #: Monotonic arrival stamp; queue order == ascending ``seq``.
+        self._seq = 0
         #: ``next_event`` memo: valid while ``_dirty`` is False and the
         #: cached cycle is still in the future.  Every mutation that can
         #: create an earlier event — command issue, enqueue, dequeue, or a
         #: refresh-engine state change — sets ``_dirty``.
         self._dirty = True
         self._next_event_cache = -1
+        #: Mutation epoch: bumped by every state mutation (alongside
+        #: ``_dirty``).  ``schedule`` snapshots it to prove a failing call
+        #: was mutation-free before trusting its computed wake bound.
+        self._epoch = 0
+        #: ``schedule`` self-memo: the earliest cycle at which calling
+        #: ``schedule`` could do anything (issue or mutate).  The system
+        #: loop skips the call entirely while ``cycle < _progress_at``;
+        #: every mutation resets it to 0 ("must run").  Exact-by-proof:
+        #: only set when a call issued nothing and mutated nothing, from
+        #: gates that are frozen until the next (memo-voiding) mutation.
+        self._progress_at = 0
+        #: Kill switch for A/B debugging: REPRO_NO_SCHED_MEMO=1 keeps
+        #: ``_progress_at`` at 0 so schedule runs on every visited cycle.
+        self._memo = os.environ.get("REPRO_NO_SCHED_MEMO") != "1"
         self.stats = ControllerStats()
         self.completions: list[tuple[int, Request]] = []
         #: Optional :class:`repro.sim.audit.CommandAuditor` observing the
@@ -444,32 +818,51 @@ class MemoryController:
     # State access helpers (also used by refresh engines)
     # ------------------------------------------------------------------
     def mark_dirty(self) -> None:
-        """Invalidate the ``next_event`` memo.
+        """Invalidate the ``next_event`` memo and the schedule self-memo.
 
         Called by every command-issue primitive and by refresh engines
         whenever they mutate deadline-bearing state outside an issue (e.g.
-        periodic request generation, PR-FIFO re-admission)."""
+        periodic request generation, PR-FIFO re-admission).  Also bumps
+        the mutation epoch so an in-flight ``schedule`` call knows it may
+        not record a wake bound."""
         self._dirty = True
+        self._epoch += 1
+        self._progress_at = 0
 
     def bank(self, rank: int, bank: int) -> _BankState:
-        return self._banks[rank][bank]
+        return self._bank_views[rank * self.banks_per_rank + bank]
+
+    def _resync_act_floor(self, rank: int) -> None:
+        """Recompute the derived ACT floor (tRRD_S + tFAW) for one rank."""
+        ta = self._ta
+        faw = ta.faw[rank]
+        fg = faw[0] + self.tfaw_c if len(faw) >= 4 else 0
+        any_gate = ta.next_act_any[rank]
+        ta.act_floor[rank] = any_gate if any_gate > fg else fg
+
+    def _group_gate_at(self, rank: int, bank_id: int) -> int:
+        return self._ta.group_gate[
+            rank * self.bankgroups_per_rank + bank_id // self.banks_per_bankgroup
+        ]
 
     def first_open_bank(self, rank: int) -> int | None:
-        for bank_id, bank in enumerate(self._banks[rank]):
-            if bank.open_row is not None:
+        b_open = self._ta.open_row
+        base = rank * self.banks_per_rank
+        for bank_id in range(self.banks_per_rank):
+            if b_open[base + bank_id] >= 0:
                 return bank_id
         return None
 
     def rank_available(self, rank: int, now: int) -> bool:
-        return now >= self.ranks[rank].busy_until
+        return now >= self._ta.busy_until[rank]
 
     def faw_ok(self, rank: int, now: int) -> bool:
-        faw = self.ranks[rank].faw
+        faw = self._ta.faw[rank]
         return len(faw) < 4 or now - faw[0] >= self.tfaw_c
 
     def recent_acts(self, rank: int, now: int) -> int:
         """Activations to the rank inside the current tFAW window."""
-        faw = self.ranks[rank].faw
+        faw = self._ta.faw[rank]
         return sum(1 for t in faw if now - t < self.tfaw_c)
 
     def faw_ok_double(self, rank: int, now: int) -> bool:
@@ -484,54 +877,66 @@ class MemoryController:
         return self.recent_acts(rank, now) <= 2
 
     def faw_next(self, rank: int) -> int:
-        faw = self.ranks[rank].faw
+        faw = self._ta.faw[rank]
         return faw[0] + self.tfaw_c if len(faw) >= 4 else 0
 
     def trrd_ok(self, rank: int, bank_id: int, now: int) -> bool:
         """Whether an ACT to the bank respects tRRD_S (any bank) and
         tRRD_L (same bank group)."""
-        rank_state = self.ranks[rank]
-        if now < rank_state.next_act_any:
+        ta = self._ta
+        if now < ta.next_act_any[rank]:
             return False
-        group = bank_id // self.banks_per_bankgroup
-        return now >= rank_state.next_act_group[group]
+        return now >= ta.group_gate[
+            rank * self.bankgroups_per_rank + bank_id // self.banks_per_bankgroup
+        ]
 
     def act_allowed_at(self, rank: int, bank_id: int) -> int:
         """Earliest cycle the bank's next ACT satisfies every rank gate.
 
-        KEEP IN LOCKSTEP: this formula is hand-inlined in two hot scans —
-        ``RefreshEngine._preventive_deadline`` and ``next_event`` (both
-        marked "act_allowed_at, inlined").  A new ACT gate must be added
-        to all three or the event loop's wake times diverge from the
-        issue-time legality checks.  (tRTP feeds ``bank.next_pre`` and the
-        DDR5 REFsb busy window feeds ``bank.next_act`` directly at issue
-        time, so both are already visible to all three scans; the
-        tRTW/tWTR turnaround is a *column* gate, carried by
+        KEEP IN LOCKSTEP: this formula is hand-inlined in four hot scans
+        — ``RefreshEngine._service_preventive`` /
+        ``_preventive_deadline``, ``next_event``, the FCFS pass of
+        ``_schedule_queues``, and the due-scan slow path of the HiRA
+        engine's ``_deadline_wake`` (all marked "act_allowed_at,
+        inlined").  A
+        new ACT gate must be added to all of them or the event loop's
+        wake times diverge from the issue-time legality checks.  The
+        tFAW and tRRD_S terms are pre-folded into the maintained
+        ``act_floor`` (see :class:`TimingArrays`); a gate that cannot
+        fold into it must be added to every inline copy.  (tRTP feeds
+        ``next_pre`` and the DDR5 REFsb busy window feeds ``next_act``
+        directly at issue time, so both are already visible everywhere;
+        the tRTW/tWTR turnaround is a *column* gate, carried by
         ``data_bus_free_at`` in the issue path and the queue wake
         candidates.)
         """
-        rank_state = self.ranks[rank]
-        faw = rank_state.faw
-        gate = self._banks[rank][bank_id].next_act
-        if len(faw) >= 4:
-            faw_gate = faw[0] + self.tfaw_c
-            if faw_gate > gate:
-                gate = faw_gate
-        if rank_state.next_act_any > gate:
-            gate = rank_state.next_act_any
-        group_gate = rank_state.next_act_group[bank_id // self.banks_per_bankgroup]
-        return group_gate if group_gate > gate else gate
+        ta = self._ta
+        gate = ta.next_act[rank * self.banks_per_rank + bank_id]
+        c = ta.act_floor[rank]
+        if c > gate:
+            gate = c
+        c = ta.group_gate[
+            rank * self.bankgroups_per_rank + bank_id // self.banks_per_bankgroup
+        ]
+        return c if c > gate else gate
 
     def _record_act(self, rank: int, bank_id: int, now: int) -> None:
-        rank_state = self.ranks[rank]
-        faw = rank_state.faw
+        ta = self._ta
+        faw = ta.faw[rank]
         faw.append(now)
         while len(faw) > 4:
             faw.popleft()
-        rank_state.next_act_any = max(rank_state.next_act_any, now + self.trrd_s_c)
-        group = bank_id // self.banks_per_bankgroup
-        gates = rank_state.next_act_group
-        gates[group] = max(gates[group], now + self.trrd_l_c)
+        any_gate = ta.next_act_any[rank]
+        c = now + self.trrd_s_c
+        if c > any_gate:
+            any_gate = c
+            ta.next_act_any[rank] = c
+        gi = rank * self.bankgroups_per_rank + bank_id // self.banks_per_bankgroup
+        c = now + self.trrd_l_c
+        if c > ta.group_gate[gi]:
+            ta.group_gate[gi] = c
+        fg = faw[0] + self.tfaw_c if len(faw) >= 4 else 0
+        ta.act_floor[rank] = any_gate if any_gate > fg else fg
 
     def act_pressure(self, rank: int, now: int) -> float:
         """Fraction of the rank's ACT-issue budget consumed recently.
@@ -567,19 +972,26 @@ class MemoryController:
         *time* is contended: pairing two refreshes into one bank-busy
         window only pays off when demand is waiting to use the bank.
         O(1): the per-bank counters are maintained at enqueue/dequeue."""
-        return self._bank_demand[rank][bank_id] > 0
+        return self._bank_demand[rank * self.banks_per_rank + bank_id] > 0
 
     # ------------------------------------------------------------------
     # Command issue primitives
     # ------------------------------------------------------------------
     def issue_pre(self, rank: int, bank_id: int, now: int) -> None:
-        bank = self.bank(rank, bank_id)
-        bank.open_row = None
-        bank.next_act = max(bank.next_act, now + self.trp_c)
-        rank_state = self.ranks[rank]
-        rank_state.ref_ready = max(rank_state.ref_ready, now + self.trp_c)
+        ta = self._ta
+        g = rank * self.banks_per_rank + bank_id
+        ta.open_row[g] = -1
+        c = now + self.trp_c
+        if c > ta.next_act[g]:
+            ta.next_act[g] = c
+        if c > ta.ref_ready[rank]:
+            ta.ref_ready[rank] = c
+        self._hit_read.discard(g)
+        self._hit_write.discard(g)
         self.bus_next = now + 1
         self._dirty = True
+        self._epoch += 1
+        self._progress_at = 0
         self.stats.pres += 1
         if self.auditor is not None:
             self.auditor.on_pre(now, rank, bank_id)
@@ -587,14 +999,22 @@ class MemoryController:
             self.tracer.on_pre(now, rank, bank_id)
 
     def issue_act(self, rank: int, bank_id: int, row: int, now: int) -> None:
-        bank = self.bank(rank, bank_id)
-        bank.open_row = row
-        bank.next_rdwr = now + self.trcd_c
-        bank.next_pre = now + self.tras_c
-        bank.next_act = now + self.trc_c
+        ta = self._ta
+        g = rank * self.banks_per_rank + bank_id
+        ta.open_row[g] = row
+        ta.next_rdwr[g] = now + self.trcd_c
+        ta.next_pre[g] = now + self.tras_c
+        ta.next_act[g] = now + self.trc_c
+        key = (g, row)
+        if key in self._row_q_read:
+            self._hit_read.add(g)
+        if key in self._row_q_write:
+            self._hit_write.add(g)
         self._record_act(rank, bank_id, now)
         self.bus_next = now + 1
         self._dirty = True
+        self._epoch += 1
+        self._progress_at = 0
         self.stats.acts += 1
         self.stats.row_misses += 1
         if self.auditor is not None:
@@ -609,18 +1029,26 @@ class MemoryController:
         refresh row's charge restoration overlaps it entirely (§3).  The
         sequence occupies the command bus for its full t1+t2 span.
         """
-        bank = self.bank(rank, bank_id)
+        ta = self._ta
+        g = rank * self.banks_per_rank + bank_id
         eff = now + self.hira_gap_c
-        bank.open_row = target_row
-        bank.next_rdwr = eff + self.trcd_c
-        bank.next_pre = eff + self.tras_c
-        bank.next_act = eff + self.trc_c
+        ta.open_row[g] = target_row
+        ta.next_rdwr[g] = eff + self.trcd_c
+        ta.next_pre[g] = eff + self.tras_c
+        ta.next_act[g] = eff + self.trc_c
+        key = (g, target_row)
+        if key in self._row_q_read:
+            self._hit_read.add(g)
+        if key in self._row_q_write:
+            self._hit_write.add(g)
         self._record_act(rank, bank_id, now)
         self._record_act(rank, bank_id, eff)
         # Three commands (ACT, PRE, ACT) occupy three bus slots; the bus is
         # free between them for other banks.
         self.bus_next = now + 3
         self._dirty = True
+        self._epoch += 1
+        self._progress_at = 0
         self.stats.acts += 2
         self.stats.pres += 1
         self.stats.hira_access_parallelized += 1
@@ -635,17 +1063,23 @@ class MemoryController:
         Bank is busy for t1 + t2 + tRAS + tRP (38 + 14.25 ns at defaults);
         the closing PRE consumes a deferred bus slot.
         """
-        bank = self.bank(rank, bank_id)
+        ta = self._ta
+        g = rank * self.banks_per_rank + bank_id
         close = now + self.hira_gap_c + self.tras_c
-        bank.open_row = None
-        bank.next_act = close + self.trp_c
-        bank.next_pre = close
-        rank_state = self.ranks[rank]
-        rank_state.ref_ready = max(rank_state.ref_ready, close + self.trp_c)
+        ta.open_row[g] = -1
+        ta.next_act[g] = close + self.trp_c
+        ta.next_pre[g] = close
+        c = close + self.trp_c
+        if c > ta.ref_ready[rank]:
+            ta.ref_ready[rank] = c
+        self._hit_read.discard(g)
+        self._hit_write.discard(g)
         self._record_act(rank, bank_id, now)
         self._record_act(rank, bank_id, now + self.hira_gap_c)
         self.bus_next = now + 3
         self._dirty = True
+        self._epoch += 1
+        self._progress_at = 0
         heapq.heappush(self._scheduled_closes, (close, rank, bank_id))
         self.stats.acts += 2
         self.stats.pres += 2
@@ -661,16 +1095,22 @@ class MemoryController:
 
     def issue_solo_refresh(self, rank: int, bank_id: int, now: int) -> None:
         """Refresh one row with a nominal ACT + PRE pair."""
-        bank = self.bank(rank, bank_id)
+        ta = self._ta
+        g = rank * self.banks_per_rank + bank_id
         close = now + self.tras_c
-        bank.open_row = None
-        bank.next_act = close + self.trp_c
-        bank.next_pre = close
-        rank_state = self.ranks[rank]
-        rank_state.ref_ready = max(rank_state.ref_ready, close + self.trp_c)
+        ta.open_row[g] = -1
+        ta.next_act[g] = close + self.trp_c
+        ta.next_pre[g] = close
+        c = close + self.trp_c
+        if c > ta.ref_ready[rank]:
+            ta.ref_ready[rank] = c
+        self._hit_read.discard(g)
+        self._hit_write.discard(g)
         self._record_act(rank, bank_id, now)
         self.bus_next = now + 1
         self._dirty = True
+        self._epoch += 1
+        self._progress_at = 0
         heapq.heappush(self._scheduled_closes, (close, rank, bank_id))
         self.stats.acts += 1
         self.stats.pres += 1
@@ -682,16 +1122,28 @@ class MemoryController:
 
     def issue_ref(self, rank_id: int, now: int) -> None:
         """Rank-level REF: the whole rank is unavailable for tRFC."""
-        rank = self.ranks[rank_id]
-        rank.busy_until = now + self.trfc_c
+        ta = self._ta
+        ta.busy_until[rank_id] = now + self.trfc_c
         # A same-bank refresh inside the rank-wide busy window would hit
         # a rank whose refresh control is already occupied.
-        rank.next_refsb = max(rank.next_refsb, now + self.trfc_c)
-        for bank in self._banks[rank_id]:
-            bank.open_row = None
-            bank.next_act = max(bank.next_act, now + self.trfc_c)
+        c = now + self.trfc_c
+        if c > ta.next_refsb[rank_id]:
+            ta.next_refsb[rank_id] = c
+        b_open = ta.open_row
+        b_act = ta.next_act
+        hit_read = self._hit_read
+        hit_write = self._hit_write
+        base = rank_id * self.banks_per_rank
+        for g in range(base, base + self.banks_per_rank):
+            b_open[g] = -1
+            if c > b_act[g]:
+                b_act[g] = c
+            hit_read.discard(g)
+            hit_write.discard(g)
         self.bus_next = now + 1
         self._dirty = True
+        self._epoch += 1
+        self._progress_at = 0
         self.stats.refs += 1
         if self.auditor is not None:
             self.auditor.on_ref(now, rank_id)
@@ -702,19 +1154,26 @@ class MemoryController:
         """DDR5-style same-bank refresh: one bank unavailable for tRFC_sb.
 
         The target bank must already be precharged (tRP elapsed since its
-        PRE, which ``bank.next_act`` carries); its sibling banks keep
-        serving demand — the scheduling advantage of REFsb over the
-        rank-wide REF of :meth:`issue_ref`.
+        PRE, which ``next_act`` carries); its sibling banks keep serving
+        demand — the scheduling advantage of REFsb over the rank-wide REF
+        of :meth:`issue_ref`.
         """
-        rank = self.ranks[rank_id]
-        bank = self._banks[rank_id][bank_id]
-        bank.open_row = None
-        bank.next_act = max(bank.next_act, now + self.trfc_sb_c)
-        rank.next_refsb = now + self.trefsb_gap_c
+        ta = self._ta
+        g = rank_id * self.banks_per_rank + bank_id
+        ta.open_row[g] = -1
+        c = now + self.trfc_sb_c
+        if c > ta.next_act[g]:
+            ta.next_act[g] = c
+        ta.next_refsb[rank_id] = now + self.trefsb_gap_c
         # A rank-level REF during the REFsb would hit a busy bank.
-        rank.ref_ready = max(rank.ref_ready, now + self.trfc_sb_c)
+        if c > ta.ref_ready[rank_id]:
+            ta.ref_ready[rank_id] = c
+        self._hit_read.discard(g)
+        self._hit_write.discard(g)
         self.bus_next = now + 1
         self._dirty = True
+        self._epoch += 1
+        self._progress_at = 0
         self.stats.refs_sb += 1
         if self.auditor is not None:
             self.auditor.on_refsb(now, rank_id, bank_id)
@@ -725,21 +1184,42 @@ class MemoryController:
     # Request intake
     # ------------------------------------------------------------------
     def enqueue(self, req: Request) -> bool:
-        queue = self.write_q if req.is_write else self.read_q
+        is_write = req.is_write
+        queue = self.write_q if is_write else self.read_q
         depth = (
-            self.config.write_queue_depth if req.is_write else self.config.read_queue_depth
+            self.config.write_queue_depth if is_write else self.config.read_queue_depth
         )
         if len(queue) >= depth:
             self.stats.queue_full_rejections += 1
             return False
         queue.append(req)
         addr = req.addr
-        rank, bank_id, row = addr.rank, addr.bank, addr.row
-        self._bank_demand[rank][bank_id] += 1
-        rows = self._row_demand_write if req.is_write else self._row_demand_read
-        key = (rank, bank_id, row)
-        rows[key] = rows.get(key, 0) + 1
+        rank = addr.rank
+        g = rank * self.banks_per_rank + addr.bank
+        req.gbank = g
+        req.rank = rank
+        req.row = addr.row
+        req.ggroup = rank * self.bankgroups_per_rank + addr.bank // self.banks_per_bankgroup
+        req.seq = self._seq
+        self._seq += 1
+        self._bank_demand[g] += 1
+        if is_write:
+            row_q = self._row_q_write
+            hit = self._hit_write
+        else:
+            row_q = self._row_q_read
+            hit = self._hit_read
+        key = (g, addr.row)
+        dq = row_q.get(key)
+        if dq is None:
+            row_q[key] = deque((req,))
+        else:
+            dq.append(req)
+        if self._ta.open_row[g] == addr.row:
+            hit.add(g)
         self._dirty = True
+        self._epoch += 1
+        self._progress_at = 0
         return True
 
     # ------------------------------------------------------------------
@@ -749,143 +1229,268 @@ class MemoryController:
         if self._draining_writes:
             if len(self.write_q) <= self.config.write_drain_low:
                 self._draining_writes = False
+                # A priority flip is a scheduling-state mutation: bump the
+                # epoch so this call records no wake bound (the flip, and
+                # any flip-every-call hysteresis parity, replays exactly).
+                self._epoch += 1
         elif len(self.write_q) >= self.config.write_drain_high or (
             not self.read_q and self.write_q
         ):
             self._draining_writes = True
+            self._epoch += 1
         if self._draining_writes:
             return self._writes_first
         return self._reads_first
 
     def schedule(self, now: int) -> bool:
-        """Try to issue one command at cycle ``now``; True if issued."""
+        """Try to issue one command at cycle ``now``; True if issued.
+
+        Self-memoizing: when a call issues nothing and — proven by an
+        unchanged ``_epoch`` — mutates nothing, every sub-pass's exact
+        gate fold is recorded in ``_progress_at`` and the system loop
+        skips the controller until that cycle.  The bound is never late:
+        all gates are frozen until the next mutation, and every mutation
+        path resets ``_progress_at`` to 0.  ``next_event`` is untouched
+        by this memo (its candidate set stays value-identical; it is the
+        *visit* schedule, this is the *per-visit* work filter).
+        """
         if now < self.bus_next:
             if self.tracer is not None:
                 self.tracer.on_stall(now)
+            elif self._memo:
+                # Nothing below the bus gate can run or mutate: this call
+                # is provably a no-op until the command bus frees.
+                self._progress_at = self.bus_next
             return False
+        epoch = self._epoch
+        wake = _FAR_FUTURE
         # Deferred closing PREs of refresh operations take precedence.
         # The heap keeps the earliest close on top; a due close consumes
         # one bus slot (its bank state was already applied at issue time).
         closes = self._scheduled_closes
-        if closes and closes[0][0] <= now:
-            heapq.heappop(closes)
-            self.bus_next = now + 1
-            self._dirty = True
-            return True
+        if closes:
+            c = closes[0][0]
+            if c <= now:
+                heapq.heappop(closes)
+                self.bus_next = now + 1
+                self._dirty = True
+                self._epoch = epoch + 1
+                self._progress_at = 0
+                return True
+            wake = c
         if self.engine.urgent(now):
             return True
-        for queue in self._active_queues():
-            if self._schedule_queue(queue, now):
-                return True
+        queue_a, queue_b = self._active_queues()
+        w = self._schedule_queues(queue_a, queue_b, now)
+        if w == _ISSUED:
+            return True
+        if w < wake:
+            wake = w
         if self.tracer is not None:
             self.tracer.on_stall(now)
+        elif self._memo and self._epoch == epoch:
+            # Issued nothing, mutated nothing: the folded queue gates plus
+            # the engine's never-late wake bound hold until the next
+            # mutation (which resets _progress_at).  A bound <= now just
+            # means no skipping.
+            w = self.engine.urgent_wake(now)
+            if w < wake:
+                wake = w
+            self._progress_at = wake
         return False
 
-    def _schedule_queue(self, queue: list[Request], now: int) -> bool:
-        if not queue:
-            return False
+    def _schedule_queues(self, queue_a: list[Request], queue_b: list[Request], now: int) -> int:
+        """Try to issue from the two demand queues, in priority order.
+
+        Returns ``_ISSUED`` on success; otherwise a never-late wake bound
+        over both queues (the earliest cycle any of their banks could
+        issue, valid while the enclosing ``schedule`` call stays
+        mutation-free — see its memo contract).  Bit-identical to the
+        former O(queue) scans: queue order equals ascending ``seq``, so
+        "first matching queue entry" and "minimum head ``seq`` over
+        candidate banks" select the same request, and the per-bank gate
+        folds replicate the per-entry checks exactly.  One call handles
+        both queues so the array locals are hoisted once per schedule
+        visit instead of once per queue.
+        """
+        wake = _FAR_FUTURE
+        ta = self._ta
+        b_open = ta.open_row
+        r_busy = ta.busy_until
+        banks_per_rank = self.banks_per_rank
         blocked = self.blocked_ranks
         bblocked = self.blocked_banks
-        banks = self._banks
-        ranks = self.ranks
-        # First pass: FR — oldest ready row hit.  Queues are homogeneous
-        # (reads or writes), so the data-bus gate hoists out of the scan:
-        # bursts start a fixed tCL (reads) / tCWL (writes) after the column
-        # command — plus the tRTW/tWTR turnaround when the bus last carried
-        # the opposite direction — so when the bus is not free at that
-        # offset no request in this queue can issue a column access.
-        is_write_q = queue is self.write_q
-        burst_offset = self.tcwl_c if is_write_q else self.tcl_c
-        if now + burst_offset >= self.data_bus_free_at(is_write_q):
-            for idx, req in enumerate(queue):
-                addr = req.addr
-                rank = addr.rank
+        b_rdwr = ta.next_rdwr
+        b_act = ta.next_act
+        b_pre = ta.next_pre
+        act_floor = ta.act_floor
+        group_gate = ta.group_gate
+        data_bus_next = self.data_bus_next
+        last_write = self._data_bus_last_write
+        write_q = self.write_q
+        for queue in (queue_a, queue_b):
+            if not queue:
+                continue
+            is_write_q = queue is write_q
+            if is_write_q:
+                hit = self._hit_write
+                row_q = self._row_q_write
+                burst_offset = self.tcwl_c
+            else:
+                hit = self._hit_read
+                row_q = self._row_q_read
+                burst_offset = self.tcl_c
+            # First pass: FR — oldest ready row hit, via the hit-bank
+            # index.  Queues are homogeneous (reads or writes), so the
+            # data-bus gate is one value for every candidate: bursts start
+            # a fixed tCL (reads) / tCWL (writes) after the column command
+            # — plus the tRTW/tWTR turnaround when the bus last carried
+            # the opposite direction.  Each hit bank's row deque head is
+            # its oldest hit, so the min-seq head over ready banks is the
+            # queue-order pick.
+            if hit:
+                # data_bus_free_at, inlined (hot scan).
+                free = data_bus_next
+                if last_write is not None and last_write != is_write_q:
+                    free += self.twtr_c if last_write else self.trtw_c
+                dbus_gate = free - burst_offset
+                best = None
+                best_seq = _FAR_FUTURE
+                for g in hit:
+                    rank = g // banks_per_rank
+                    if rank in blocked:
+                        continue
+                    if bblocked and (rank, g - rank * banks_per_rank) in bblocked:
+                        continue
+                    gate = dbus_gate
+                    c = b_rdwr[g]
+                    if c > gate:
+                        gate = c
+                    c = r_busy[rank]
+                    if c > gate:
+                        gate = c
+                    if gate > now:
+                        if gate < wake:
+                            wake = gate
+                        continue
+                    req = row_q[(g, b_open[g])][0]
+                    if req.seq < best_seq:
+                        best_seq = req.seq
+                        best = req
+                if best is not None:
+                    self._issue_column_access(queue, best, now)
+                    return _ISSUED
+            # Second pass: FCFS — advance the oldest request's bank state.
+            # Only the oldest request per bank can act: whether an ACT or
+            # a PRE is legal depends on bank/rank state alone, and a
+            # younger conflicting request is always shadowed by the older
+            # one (the open-row keep-alive check spans the whole queue).
+            # The queue list is in arrival order and holds exactly the
+            # live requests, so its first occurrence per bank IS that
+            # bank's FCFS head — the scan visits heads in ascending seq
+            # and exits at the first issuable one, touching no more
+            # entries than it must.
+            seen = set()
+            seen_add = seen.add
+            for head in queue:
+                g = head.gbank
+                if g in seen:
+                    continue
+                seen_add(g)
+                rank = head.rank
                 if rank in blocked:
                     continue
-                if bblocked and (rank, addr.bank) in bblocked:
+                if bblocked and (rank, g - rank * banks_per_rank) in bblocked:
                     continue
-                bank = banks[rank][addr.bank]
-                if (
-                    bank.open_row == addr.row
-                    and now >= bank.next_rdwr
-                    and now >= ranks[rank].busy_until
-                ):
-                    self._issue_column_access(queue, idx, now)
-                    return True
-        # Second pass: FCFS — advance the oldest request's bank state.
-        # Only the oldest request per (rank, bank) can act: whether an ACT
-        # or a PRE is legal depends on bank/rank state alone, and a younger
-        # conflicting request is always shadowed by the older one (the
-        # open-row keep-alive check spans the whole queue).  Deduplicate
-        # banks with a bitmask so the scan is O(distinct banks).
-        seen = 0
-        banks_per_rank = self.banks_per_rank
-        for req in queue:
-            addr = req.addr
-            rank, bank_id = addr.rank, addr.bank
-            bit = 1 << (rank * banks_per_rank + bank_id)
-            if seen & bit:
-                continue
-            seen |= bit
-            if rank in blocked or now < ranks[rank].busy_until:
-                continue
-            if bblocked and (rank, bank_id) in bblocked:
-                continue
-            bank = banks[rank][bank_id]
-            open_row = bank.open_row
-            if open_row is None:
-                if now >= bank.next_act and self.faw_ok(rank, now) and self.trrd_ok(rank, bank_id, now):
-                    refresh_row = None
-                    if self.faw_ok_double(rank, now):
-                        refresh_row = self.engine.on_act(req, now)
-                    if refresh_row is not None:
-                        self.issue_hira_act(rank, bank_id, refresh_row, addr.row, now)
-                    else:
-                        self.issue_act(rank, bank_id, addr.row, now)
-                    self.engine.on_demand_act(req, now)
-                    return True
-            elif open_row != addr.row:
-                if now >= bank.next_pre and not self._row_hit_waiting(queue, rank, bank_id, open_row):
-                    self.issue_pre(rank, bank_id, now)
-                    return True
-            # Oldest-first: only consider strictly older requests' banks;
-            # but allowing younger requests to different banks improves
-            # bank-level parallelism (standard FR-FCFS behaviour).
-        return False
+                busy = r_busy[rank]
+                orow = b_open[g]
+                if orow < 0:
+                    # act_allowed_at, inlined (hot scan), plus the
+                    # rank-busy gate; <= now replicates
+                    # next_act/faw_ok/trrd_ok/busy.
+                    gate = b_act[g]
+                    c = act_floor[rank]
+                    if c > gate:
+                        gate = c
+                    c = group_gate[head.ggroup]
+                    if c > gate:
+                        gate = c
+                    if busy > gate:
+                        gate = busy
+                    if gate <= now:
+                        bank_id = g - rank * banks_per_rank
+                        row = head.row
+                        refresh_row = None
+                        if self.faw_ok_double(rank, now):
+                            refresh_row = self.engine.on_act(head, now)
+                        if refresh_row is not None:
+                            self.issue_hira_act(rank, bank_id, refresh_row, row, now)
+                        else:
+                            self.issue_act(rank, bank_id, row, now)
+                        self.engine.on_demand_act(head, now)
+                        return _ISSUED
+                    if gate < wake:
+                        wake = gate
+                elif orow != head.row:
+                    if g in hit:
+                        # Keep-alive: a queued hit still targets the open
+                        # row; its wake is covered by the FR pass above.
+                        continue
+                    gate = b_pre[g]
+                    if busy > gate:
+                        gate = busy
+                    if gate <= now:
+                        self.issue_pre(rank, g - rank * banks_per_rank, now)
+                        return _ISSUED
+                    if gate < wake:
+                        wake = gate
+                # else: the head targets the open row — the FR pass owns
+                # it (and folds its wake through the hit set).
+        return wake
 
     def _row_hit_waiting(self, queue: list[Request], rank: int, bank_id: int, row: int) -> bool:
         """Whether a queued request still targets the open row (keep it open).
 
-        O(1): per-(rank, bank, row) occupancy counters are maintained at
+        O(1): per-(bank, row) hit deques are maintained at
         enqueue/dequeue for each queue."""
-        rows = self._row_demand_read if queue is self.read_q else self._row_demand_write
-        return (rank, bank_id, row) in rows
+        row_q = self._row_q_read if queue is self.read_q else self._row_q_write
+        return (rank * self.banks_per_rank + bank_id, row) in row_q
 
-    def _issue_column_access(self, queue: list[Request], idx: int, now: int) -> None:
-        req = queue.pop(idx)
-        addr = req.addr
-        rank, bank_id = addr.rank, addr.bank
-        self._bank_demand[rank][bank_id] -= 1
-        rows = self._row_demand_write if req.is_write else self._row_demand_read
-        key = (rank, bank_id, addr.row)
-        left = rows[key] - 1
-        if left:
-            rows[key] = left
+    def _issue_column_access(self, queue: list[Request], req: Request, now: int) -> None:
+        queue.remove(req)  # identity comparison: Request has eq=False
+        g = req.gbank
+        rank = req.rank
+        bank_id = g - rank * self.banks_per_rank
+        self._bank_demand[g] -= 1
+        if req.is_write:
+            row_q = self._row_q_write
+            hit = self._hit_write
         else:
-            del rows[key]
-        bank = self._banks[rank][bank_id]
+            row_q = self._row_q_read
+            hit = self._hit_read
+        key = (g, req.row)
+        dq = row_q[key]
+        dq.popleft()  # req: FR always picks a row deque's head (oldest hit)
+        if not dq:
+            del row_q[key]
+            hit.discard(g)
+        ta = self._ta
         self.bus_next = now + 1
         self._dirty = True
+        self._epoch += 1
+        self._progress_at = 0
         if req.is_write:
             # Write recovery: the bank may not precharge until tWR after
             # the write data burst (WR + CWL + BL) has fully landed in the
             # sense amplifiers.  The burst occupies the channel's data bus
             # for tBL starting exactly tCWL after the command (the issue
-            # gate in `_schedule_queue` guarantees the bus is free then).
+            # gate in `_schedule_queues` guarantees the bus is free then).
             burst_end = now + self.tcwl_c + self.tbl_c
             self.data_bus_next = burst_end
             self._data_bus_last_write = True
-            bank.next_pre = max(bank.next_pre, burst_end + self.twr_c)
+            c = burst_end + self.twr_c
+            if c > ta.next_pre[g]:
+                ta.next_pre[g] = c
             req.complete_cycle = burst_end
             self.stats.writes_served += 1
         else:
@@ -895,7 +1500,9 @@ class MemoryController:
             start = now + self.tcl_c
             self.data_bus_next = start + self.tbl_c
             self._data_bus_last_write = False
-            bank.next_pre = max(bank.next_pre, now + self.trtp_c)
+            c = now + self.trtp_c
+            if c > ta.next_pre[g]:
+                ta.next_pre[g] = c
             req.complete_cycle = start + self.tbl_c
             self.stats.reads_served += 1
             self.completions.append((req.complete_cycle, req))
@@ -914,12 +1521,30 @@ class MemoryController:
         every candidate only grows over time otherwise — so while the
         controller is clean, a cached value still in the future is exactly
         what a recomputation would return.
+
+        The candidate set is deliberately VALUE-IDENTICAL to the original
+        per-entry scan (first 8 requests per queue): it is the system
+        loop's visit schedule, and any visit-set change reorders
+        deep-queue scheduling.  Only the constants moved — the arrays are
+        flat and the tFAW/tRRD_S fold is the maintained ``act_floor``.
         """
         if not self._dirty and self._next_event_cache > now:
             return self._next_event_cache
+        c = self.bus_next
+        if c == now + 1:
+            # A command just issued: every candidate is > now, and the
+            # command-bus gate now+1 is the smallest value any candidate
+            # can take — the fold below provably returns now+1, so skip
+            # it (engine deadline folds included; deferring the engine's
+            # generation advance is state-identical because it is a pure
+            # function of (heap, now) and every consumer advances first).
+            # During saturated bursts this collapses the per-issue
+            # recompute to O(1); the full fold runs at the burst's end.
+            self._next_event_cache = c
+            self._dirty = False
+            return c
         best = _FAR_FUTURE
         have_future = False
-        c = self.bus_next
         if c > now:
             best = c
             have_future = True
@@ -935,10 +1560,14 @@ class MemoryController:
             have_future = True
             if c < best:
                 best = c
-        banks = self._banks
-        ranks = self.ranks
-        tfaw_c = self.tfaw_c
-        bpg = self.banks_per_bankgroup
+        ta = self._ta
+        b_open = ta.open_row
+        b_act = ta.next_act
+        b_pre = ta.next_pre
+        b_rdwr = ta.next_rdwr
+        r_busy = ta.busy_until
+        act_floor = ta.act_floor
+        group_gate = ta.group_gate
         for queue in (self.read_q, self.write_q):
             n = len(queue)
             if n > 8:
@@ -955,33 +1584,27 @@ class MemoryController:
                     if c < best:
                         best = c
             for qi in range(n):
-                addr = queue[qi].addr
-                rank, bank_id = addr.rank, addr.bank
-                bank = banks[rank][bank_id]
-                rank_state = ranks[rank]
-                c = rank_state.busy_until
+                req = queue[qi]
+                g = req.gbank
+                c = r_busy[req.rank]
                 if c > now:
                     have_future = True
                     if c < best:
                         best = c
-                open_row = bank.open_row
-                if open_row == addr.row:
-                    c = bank.next_rdwr
-                elif open_row is None:
+                orow = b_open[g]
+                if orow == req.row:
+                    c = b_rdwr[g]
+                elif orow < 0:
                     # act_allowed_at, inlined (hot scan).
-                    c = bank.next_act
-                    faw = rank_state.faw
-                    if len(faw) >= 4:
-                        faw_gate = faw[0] + tfaw_c
-                        if faw_gate > c:
-                            c = faw_gate
-                    if rank_state.next_act_any > c:
-                        c = rank_state.next_act_any
-                    group_gate = rank_state.next_act_group[bank_id // bpg]
-                    if group_gate > c:
-                        c = group_gate
+                    c = b_act[g]
+                    gate = act_floor[req.rank]
+                    if gate > c:
+                        c = gate
+                    gate = group_gate[req.ggroup]
+                    if gate > c:
+                        c = gate
                 else:
-                    c = bank.next_pre
+                    c = b_pre[g]
                 if c > now:
                     have_future = True
                     if c < best:

@@ -118,11 +118,31 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
                 soonest = wake
         return soonest
 
+    def _sb_urgent_wake(self, now: int) -> int:
+        """Mirror of ``_sb_urgent``'s gates for the schedule memo.
+
+        Valid only for a mutation-free call (the memo contract): due heap
+        entries would have moved to the deferred pool (a marking
+        mutation), and idle promotion would have fired, so here the heap
+        head is in the future and every deferred bank waits on its
+        forced-promotion cycle.
+        """
+        wake = self._sb_drain_wake(now, self._preventive_deadline(now))
+        heap = self._sb_heap
+        if heap and heap[0][0] < wake:
+            wake = heap[0][0]
+        if self._sb_deferred:
+            if not self.mc.read_q:
+                return now  # defensive: idle promotion fires immediately
+            if self._sb_forced_min < wake:
+                wake = self._sb_forced_min
+        return wake
+
     def _rank_must_refresh(self, rank_id: int, now: int) -> bool:
-        rank = self.mc.ranks[rank_id]
-        if now < rank.ref_due:
+        due = self.mc._ta.ref_due[rank_id]
+        if now < due:
             return False
-        overdue = (now - rank.ref_due) // self.mc.trefi_c
+        overdue = (now - due) // self.mc.trefi_c
         if self._debt[rank_id] + overdue >= self.max_postponed:
             return True
         # Refresh early when no latency-critical demand is queued: reads
@@ -135,39 +155,42 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
         if self._service_preventive(now):
             return True
         mc = self.mc
-        for rank_id, rank in enumerate(mc.ranks):
-            if now < rank.busy_until or now < rank.ref_due:
+        ta = mc._ta
+        committed = self._committed
+        for rank_id in range(len(committed)):
+            due = ta.ref_due[rank_id]
+            if now < ta.busy_until[rank_id] or now < due:
                 continue
-            if not self._committed[rank_id] and not self._rank_must_refresh(rank_id, now):
+            if not committed[rank_id] and not self._rank_must_refresh(rank_id, now):
                 # Postpone: account the debt once per elapsed interval.
                 continue
             # Commit and block demand to the rank: newly arriving reads can
             # no longer cancel the drain or push tRP-readiness away.  The
             # commit switches next_deadline to the drain-gate formula, so
             # the transition invalidates the memoized next_event.
-            if not self._committed[rank_id]:
-                self._committed[rank_id] = True
+            if not committed[rank_id]:
+                committed[rank_id] = True
                 mc.mark_dirty()
             if rank_id not in mc.blocked_ranks:
                 mc.blocked_ranks.add(rank_id)
                 mc.mark_dirty()
             open_bank = mc.first_open_bank(rank_id)
             if open_bank is not None:
-                bank = mc.bank(rank_id, open_bank)
-                if now >= bank.next_pre:
+                g = rank_id * mc.banks_per_rank + open_bank
+                if now >= ta.next_pre[g]:
                     mc.issue_pre(rank_id, open_bank, now)
                     return True
                 continue
-            if now < rank.ref_ready:
+            if now < ta.ref_ready[rank_id]:
                 continue  # tRP still elapsing; the rank stays blocked
-            self._committed[rank_id] = False
+            committed[rank_id] = False
             mc.blocked_ranks.discard(rank_id)
             mc.issue_ref(rank_id, now)
-            missed = max(0, (now - rank.ref_due) // mc.trefi_c)
+            missed = max(0, (now - due) // mc.trefi_c)
             self._debt[rank_id] = max(0, self._debt[rank_id] + missed - 1)
             if missed and mc.tracer is not None:
                 mc.tracer.on_decision("postpone", now, rank_id, -1, missed)
-            rank.ref_due += mc.trefi_c
+            ta.ref_due[rank_id] = due + mc.trefi_c
             return True
         return False
 
@@ -175,24 +198,67 @@ class ElasticRefreshEngine(BaselineRefreshEngine):
         """Wake at the postponement limit rather than every tREFI."""
         if self._same_bank:
             return self._sb_next_deadline(now)
+        mc = self.mc
+        ta = mc._ta
+        trefi = mc.trefi_c
+        read_q = bool(mc.read_q)
         soonest = _FAR_FUTURE
-        for rank_id, rank in enumerate(self.mc.ranks):
+        for rank_id, due in enumerate(ta.ref_due):
             if self._committed[rank_id]:
                 # Mid-drain: wake when the next drain step can proceed (a
                 # bank precharge or the tRP-after-PRE REF gate).  The true
                 # gate is returned even when already past — the controller
                 # handles lateness once instead of being spun cycle by cycle.
-                gate = max(rank.busy_until, rank.ref_ready)
-                open_bank = self.mc.first_open_bank(rank_id)
+                gate = ta.busy_until[rank_id]
+                c = ta.ref_ready[rank_id]
+                if c > gate:
+                    gate = c
+                open_bank = mc.first_open_bank(rank_id)
                 if open_bank is not None:
-                    gate = max(gate, self.mc.bank(rank_id, open_bank).next_pre)
-                soonest = min(soonest, gate)
+                    c = ta.next_pre[rank_id * mc.banks_per_rank + open_bank]
+                    if c > gate:
+                        gate = c
+                if gate < soonest:
+                    soonest = gate
                 continue
             budget_left = self.max_postponed - self._debt[rank_id]
-            deadline = rank.ref_due + max(0, budget_left) * self.mc.trefi_c
-            idle_opportunity = rank.ref_due if not self.mc.read_q else deadline
-            soonest = min(soonest, idle_opportunity)
-        return min(soonest, self._preventive_deadline(now))
+            deadline = due + max(0, budget_left) * trefi
+            idle_opportunity = due if not read_q else deadline
+            if idle_opportunity < soonest:
+                soonest = idle_opportunity
+        p = self._preventive_deadline(now)
+        return p if p < soonest else soonest
+
+    def urgent_wake(self, now: int) -> int:
+        if self._same_bank:
+            return self._sb_urgent_wake(now)
+        wake = self._preventive_deadline(now)
+        mc = self.mc
+        ta = mc._ta
+        trefi = mc.trefi_c
+        read_q = bool(mc.read_q)
+        for rank_id, due in enumerate(ta.ref_due):
+            busy = ta.busy_until[rank_id]
+            if self._committed[rank_id]:
+                # Mid-drain (rank already blocked by an earlier, mutating
+                # call): next drain step per urgent's branches.
+                open_bank = mc.first_open_bank(rank_id)
+                if open_bank is not None:
+                    gate = ta.next_pre[rank_id * mc.banks_per_rank + open_bank]
+                else:
+                    gate = ta.ref_ready[rank_id]
+            else:
+                # Engagement cycle: _rank_must_refresh first holds at the
+                # debt-overflow deadline (or at ref_due when idle), and
+                # engaging commits the rank — a memo-voiding mutation.
+                gate = due
+                if read_q:
+                    gate += max(0, self.max_postponed - self._debt[rank_id]) * trefi
+            if busy > gate:
+                gate = busy
+            if gate < wake:
+                wake = gate
+        return wake
 
     def postponed_total(self) -> int:
         if self._same_bank:

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.dram.geometry import Address
 
 
-@dataclass(slots=True)
+@dataclass(slots=True, eq=False)
 class Request:
     """One cache-line-sized memory request.
 
@@ -16,6 +16,15 @@ class Request:
     when the data burst finishes (reads) or the write is accepted.
     ``rob`` carries the issuing core's ROB entry for reads (slotted — a
     request is a hot object, allocated once per LLC miss).
+
+    ``seq``/``gbank``/``rank``/``row``/``ggroup`` are the controller's
+    scheduler index fields, assigned at enqueue: the monotonic arrival
+    stamp (queue order == ascending ``seq``) plus the request's decoded
+    coordinates flattened into the controller's array indexes (global
+    bank id, rank, row, global bank-group id) so the hot scans never
+    chase ``addr`` attributes.  ``eq=False`` keeps identity comparison
+    (and hashing): two distinct requests are never interchangeable, and
+    ``list.remove`` must drop the exact object.
     """
 
     addr: Address
@@ -25,6 +34,11 @@ class Request:
     arrival_cycle: int
     complete_cycle: int | None = None
     rob: object = None
+    seq: int = 0
+    gbank: int = 0
+    rank: int = 0
+    row: int = 0
+    ggroup: int = 0
 
     @property
     def bank_key(self) -> tuple[int, int, int]:

@@ -178,56 +178,71 @@ class System:
         ]
         passive_mcs = [mc for mc in mcs if mc.config.refresh_mode == "none"]
         cycle = 0
+        #: Cached min(core_wake): step 2 is skipped while every core
+        #: sleeps and no completion was delivered this cycle (every
+        #: per-core iteration would hit the ``core_wake`` guard).
+        min_core_wake = 0
 
         while cycle < max_cycles:
             # 1. Deliver due read completions to cores.
+            delivered = False
             while completion_heap and completion_heap[0][0] <= cycle:
                 done_cycle, done_seq, core_id = heappop(completion_heap)
                 cores[core_id].on_read_complete(entry_by_seq.pop(done_seq), done_cycle)
                 core_wake[core_id] = cycle
+                delivered = True
 
             # 2. Let cores issue requests into controller queues.
-            for cid, core in enumerate(cores):
-                if core_wake[cid] > cycle:
-                    continue
-                if core.done:
-                    core_wake[cid] = _FAR_FUTURE
-                    n_undone -= 1
-                    continue
-                while True:
-                    ready = core.ready_cycle(cycle)
-                    if ready is None:
+            if delivered or min_core_wake <= cycle:
+                for cid, core in enumerate(cores):
+                    if core_wake[cid] > cycle:
+                        continue
+                    if core.done:
                         core_wake[cid] = _FAR_FUTURE
-                        if core.done:
-                            n_undone -= 1
-                        break
-                    retry = retry_at[cid]
-                    if ready > cycle or retry > cycle:
-                        core_wake[cid] = ready if ready > retry else retry
-                        break
-                    line, is_write = core.peek_pending()
-                    addr = decode(line)
-                    req = Request(
-                        addr=addr,
-                        line=line,
-                        is_write=is_write,
-                        core_id=cid,
-                        arrival_cycle=cycle,
-                    )
-                    if not mcs[addr.channel].enqueue(req):
-                        retry_at[cid] = cycle + 4
-                        core_wake[cid] = cycle + 4
-                        break
-                    entry = core.take_request(cycle)
-                    if entry is not None:
-                        req.rob = entry
+                        n_undone -= 1
+                        continue
+                    while True:
+                        ready = core.ready_cycle(cycle)
+                        if ready is None:
+                            core_wake[cid] = _FAR_FUTURE
+                            if core.done:
+                                n_undone -= 1
+                            break
+                        retry = retry_at[cid]
+                        if ready > cycle or retry > cycle:
+                            core_wake[cid] = ready if ready > retry else retry
+                            break
+                        line, is_write = core.peek_pending()
+                        addr = decode(line)
+                        req = Request(
+                            addr=addr,
+                            line=line,
+                            is_write=is_write,
+                            core_id=cid,
+                            arrival_cycle=cycle,
+                        )
+                        if not mcs[addr.channel].enqueue(req):
+                            retry_at[cid] = cycle + 4
+                            core_wake[cid] = cycle + 4
+                            break
+                        entry = core.take_request(cycle)
+                        if entry is not None:
+                            req.rob = entry
+                min_core_wake = min(core_wake)
 
             # 3. Each channel issues at most one command this cycle.
             # (schedule must run on every visited cycle: ``next_event``
             # only inspects each queue's head window, so an issue slot for
             # a deeper request can open at a cycle another controller or
-            # core made interesting.)
+            # core made interesting.  The one exception is proven by the
+            # controller itself: ``_progress_at`` is set only when a call
+            # issued nothing and mutated nothing, from exact gate folds
+            # that hold until the next memo-voiding mutation — so skipping
+            # until then is behavior-identical.  Completions only appear
+            # when schedule runs, so the drain is skipped with it.)
             for mc in mcs:
+                if mc._progress_at > cycle:
+                    continue
                 mc.schedule(cycle)
                 completions = mc.completions
                 if completions:
@@ -244,16 +259,21 @@ class System:
             nxt = _FAR_FUTURE
             if completion_heap:
                 nxt = completion_heap[0][0]
-            wake = min(core_wake)
-            if wake < nxt:
-                nxt = wake
+            if min_core_wake < nxt:
+                nxt = min_core_wake
             for mc in active_mcs:
-                ne = mc.next_event(cycle)
+                # Inlined next_event memo guard: on clean visits the call
+                # (and its preamble) is pure overhead at loop frequency.
+                ne = mc._next_event_cache
+                if mc._dirty or ne <= cycle:
+                    ne = mc.next_event(cycle)
                 if ne < nxt:
                     nxt = ne
             for mc in passive_mcs:
                 if mc.read_q or mc.write_q:
-                    ne = mc.next_event(cycle)
+                    ne = mc._next_event_cache
+                    if mc._dirty or ne <= cycle:
+                        ne = mc.next_event(cycle)
                     if ne < nxt:
                         nxt = ne
             if nxt <= cycle:

@@ -22,20 +22,28 @@ for every recorded engine/channel/rank/PARA configuration.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import random
 from dataclasses import replace
 from pathlib import Path
 
 import pytest
 
 from repro.orchestrator import result_to_dict
+from repro.sim.audit import attach_auditors
 from repro.sim.config import SystemConfig
 from repro.sim.system import System
 from repro.workloads.mixes import mix_for
 
 GOLDEN_PATH = Path(__file__).parent / "goldens" / "kernel_ab.json"
 GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+AUDIT_GOLDEN_PATH = Path(__file__).parent / "goldens" / "kernel_audit_digests.json"
+AUDIT_GOLDENS = (
+    json.loads(AUDIT_GOLDEN_PATH.read_text()) if AUDIT_GOLDEN_PATH.exists() else {}
+)
 
 
 def run_entry(entry: dict):
@@ -85,6 +93,97 @@ def test_goldens_cover_every_engine():
         if entry["config"].get("refresh_granularity") == "same_bank"
     }
     assert sb_modes >= {"baseline", "elastic", "hira"}
+
+
+# ----------------------------------------------------------------------
+# SoA A/B sweep: byte-identical audit logs across the full engine matrix.
+#
+# The kernel_ab goldens compare aggregate results (cycles, IPCs, stats);
+# an array-indexing transposition in the struct-of-arrays hot path could
+# in principle swap two banks' command streams without moving any
+# aggregate.  These goldens pin a sha256 over every controller's full
+# exported audit log — command kind, cycle, rank, bank, row, tag, in
+# issue order — so the command *stream itself* must survive refactors
+# byte for byte.  Seeds are drawn from a fixed generator: randomized
+# coverage, deterministic test.
+# ----------------------------------------------------------------------
+def _audit_grid() -> dict[str, dict]:
+    rng = random.Random(0xA0D17)
+    grid = {}
+    for mode in ("baseline", "elastic", "hira"):
+        for granularity in ("all_bank", "same_bank"):
+            for turnaround in (True, False):
+                seed = rng.randrange(1, 1 << 16)
+                name = (
+                    f"{mode}-{granularity}-"
+                    f"{'turn' if turnaround else 'noturn'}-s{seed}"
+                )
+                config: dict = {"refresh_mode": mode, "refresh_granularity": granularity}
+                if mode == "hira":
+                    config["tref_slack_acts"] = 2
+                if rng.random() < 0.5:
+                    config["para_nrh"] = float(rng.choice((64, 256)))
+                if not turnaround:
+                    config["timing"] = {"trtw": 0, "twtr": 0}
+                grid[name] = {
+                    "config": config,
+                    "mix_id": rng.randrange(0, 3),
+                    "seed": seed,
+                    "instr_budget": 3000,
+                }
+    return grid
+
+
+AUDIT_GRID = _audit_grid()
+
+
+def _audit_digest(entry: dict) -> str:
+    config_data = dict(entry["config"])
+    timing_overrides = config_data.pop("timing", None)
+    config = SystemConfig(**config_data)
+    if timing_overrides:
+        config = config.variant(timing=replace(config.timing, **timing_overrides))
+    profiles = mix_for(entry["mix_id"], cores=config.cores)
+    system = System(
+        config, profiles, seed=entry["seed"], instr_budget=entry["instr_budget"]
+    )
+    auditors = attach_auditors(system)
+    system.run()
+    digest = hashlib.sha256()
+    for auditor in auditors:
+        log = auditor.export_log()
+        digest.update(
+            json.dumps(log, sort_keys=True, separators=(",", ":")).encode()
+        )
+    return digest.hexdigest()
+
+
+@pytest.mark.parametrize("name", sorted(AUDIT_GRID))
+def test_audit_log_matches_digest_golden(name):
+    entry = AUDIT_GRID[name]
+    digest = _audit_digest(entry)
+    if os.environ.get("REPRO_REGEN_GOLDENS") == "1":  # pragma: no cover
+        AUDIT_GOLDENS[name] = digest
+        AUDIT_GOLDEN_PATH.write_text(
+            json.dumps(AUDIT_GOLDENS, indent=1, sort_keys=True) + "\n"
+        )
+        return
+    assert name in AUDIT_GOLDENS, (
+        f"no audit digest recorded for {name}; regenerate with "
+        "REPRO_REGEN_GOLDENS=1"
+    )
+    assert digest == AUDIT_GOLDENS[name], (
+        f"{name}: audit log diverged from the recorded command stream"
+    )
+
+
+def test_audit_grid_covers_matrix():
+    combos = {
+        (e["config"]["refresh_mode"], e["config"]["refresh_granularity"],
+         "timing" in e["config"])
+        for e in AUDIT_GRID.values()
+    }
+    assert len(combos) == 12  # 3 engines x 2 granularities x turnaround on/off
 
 
 def test_every_entry_has_a_pinned_zero_turnaround_twin():

@@ -206,3 +206,82 @@ def test_sweep_json_out_carries_telemetry_and_fleet(tmp_path, capsys):
     assert "telemetry" in payload
     assert payload["fleet"]["done"] == 1
     assert payload["elapsed_s"] >= 0
+
+
+# ----------------------------------------------------------------------
+# Resume accounting: done/todo must stay truthful across replays
+# ----------------------------------------------------------------------
+def test_resumed_half_done_sweep_renders_consistent_progress(tmp_path):
+    """Resuming a half-done sweep replays the stored half; the rendered
+    line must count only newly computed points against ``todo`` — never
+    ``done > todo``, never double-counting journal-replayed points."""
+    from repro.orchestrator.runner import run_sweep
+    from repro.orchestrator.sweep import Sweep, Variant, axis, profile_workloads
+    from repro.sim.trace import TraceProfile
+
+    profiles = [
+        TraceProfile(f"t{i}", mpki=18.0, row_locality=0.7) for i in range(8)
+    ]
+
+    def sweep_for(*variants):
+        return Sweep(
+            name="resume-demo",
+            axes=(axis("cfg", *variants),),
+            workloads=profile_workloads(profiles, count=1),
+            instr_budget=2_000,
+            max_cycles=2_000_000,
+        )
+
+    base = Variant.make("Baseline", refresh_mode="baseline")
+    hira = Variant.make("HiRA-2", refresh_mode="hira", tref_slack_acts=2)
+    store = tmp_path / "store"
+    # The interrupted first run computed only half the grid.
+    run_sweep(sweep_for(base), backend="serial", cache=store)
+    # The resumed run replays that half from the store, computes the rest.
+    path = tmp_path / "status.json"
+    status = FleetStatus(path)
+    run_sweep(sweep_for(base, hira), backend="serial", cache=store, status=status)
+    text = render_status(load_status(path), [])
+    assert (
+        "sweep resume-demo: finished, 1/1 computed "
+        "(1 replayed from the store, 2 points total)"
+    ) in text
+
+
+def test_point_done_is_idempotent_per_label(tmp_path):
+    """A retried/speculated job can complete the same point twice; the
+    second completion must not push ``done`` past ``todo``."""
+    path = tmp_path / "status.json"
+    status = FleetStatus(path)
+    status.sweep_started("demo", points=4, reused=2, todo=2, workers=1)
+    status.point_done("p0")
+    status.point_done("p0")  # speculated duplicate of the same point
+    status.point_done("p1")
+    assert status.sweep["done"] == 2
+    assert status.job_counts()["done"] == 2
+    status.sweep_finished("serial", 0.5)
+    text = render_status(load_status(path), [])
+    assert "2/2 computed (2 replayed from the store, 4 points total)" in text
+
+
+def test_journal_fingerprint_change_resets_done_count(tmp_path):
+    """Points journaled under a stale source fingerprint are recomputed,
+    not replayed — they must not count toward the latest run (the old
+    behavior reported e.g. "10/6 points journaled")."""
+    from repro.orchestrator.journal import SweepJournal
+
+    journal_dir = tmp_path / "journals"
+    journal_dir.mkdir()
+    with SweepJournal(journal_dir / "demo.jsonl") as journal:
+        journal.begin("demo", points=6, fingerprint="a" * 8)
+        for i in range(4):
+            journal.record_done(i, f"old-k{i}")
+        # Source changed between runs: everything recomputes under new keys.
+        journal.begin("demo", points=6, fingerprint="b" * 8)
+        for i in range(6):
+            journal.record_done(i, f"new-k{i}")
+        journal.complete()
+    state = journal_progress(tmp_path)[0]
+    assert state.done == 6  # not 10: stale-fingerprint points dropped
+    assert state.describe().startswith("6/6 points journaled")
+    assert state.runs == 2 and state.complete

@@ -198,3 +198,24 @@ def test_profile_kernel_aggregates(monkeypatch):
     assert set(out["workloads"]) == {"tiny"}
     assert out["wall_s"] > 0
     assert set(out["phases"])  # aggregated across workloads
+
+
+def test_measure_workload_guards_degenerate_walls(monkeypatch):
+    """A near-zero timed window (broken/too-coarse clock) must report
+    0.0 rates — failing any CI floor loudly — never inf/absurd ones,
+    and must drop the speedup-vs-pre-opt column rather than fake it."""
+    import repro.perf as perf
+
+    monkeypatch.setattr(perf.time, "perf_counter", lambda: 1.0)
+    row = perf.measure_workload(
+        "fig12-para-nrh64",
+        dict(refresh_mode="baseline", para_nrh=64.0),
+        instr_budget=perf.PRE_PR_INSTR_BUDGET // 100,
+        reps=1,
+    )
+    assert row["wall_s"] == 0.0
+    assert row["events"] > 0
+    assert row["events_per_sec"] == 0.0
+    assert row["cycles_per_sec"] == 0.0
+    assert row["instr_per_sec"] == 0.0
+    assert "speedup_vs_pre_pr" not in row
